@@ -1,0 +1,26 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the MACEDON paper's
+evaluation.  The experiments are scaled down from the paper's ModelNet runs
+(hundreds to a thousand emulated hosts, hundreds of seconds) to sizes that run
+in seconds on one machine; EXPERIMENTS.md records both the paper's numbers and
+the numbers measured here, and the assertions in each benchmark check the
+qualitative shape rather than absolute values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run a macro-experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+    def _run(fn):
+        return run_once(benchmark, fn)
+    return _run

@@ -1,0 +1,42 @@
+"""Figure 7: lines of code of each MACEDON protocol specification.
+
+The paper reports that every bundled overlay is expressible in a few hundred
+lines of mac code (NICE ~500, SplitStream <200, the rest in between), versus
+thousands of lines for hand-written implementations.  This benchmark counts
+the LOC of the specifications shipped in this reproduction and the size of the
+code generated from them.
+"""
+
+from __future__ import annotations
+
+from repro.eval.loc import expansion_factor, generated_loc, spec_loc
+from repro.eval.reports import format_table
+from repro.protocols import BUNDLED_PROTOCOLS
+
+
+def test_fig07_specification_lines_of_code(once):
+    def run():
+        spec = spec_loc()
+        generated = generated_loc()
+        expansion = expansion_factor()
+        return spec, generated, expansion
+
+    spec, generated, expansion = once(run)
+
+    rows = [(name, spec[name], generated[name], f"{expansion[name]:.1f}x")
+            for name in sorted(spec)]
+    print()
+    print(format_table(["protocol", "spec LOC", "generated LOC", "expansion"],
+                       rows, title="Figure 7 — specification size"))
+
+    # Every protocol from the paper's Figure 7 is present.
+    assert set(BUNDLED_PROTOCOLS) <= set(spec)
+    # The paper's qualitative claims: all specs are "a few hundred lines" ...
+    assert all(loc < 600 for loc in spec.values())
+    # ... SplitStream is the smallest because it reuses Scribe/Pastry ...
+    assert spec["splitstream"] == min(spec.values())
+    assert spec["splitstream"] < 200
+    # ... and every generated module is larger than its specification (the
+    # bulk of the hand-written code a specification replaces lives in the
+    # shared runtime, which is reused by every protocol — the paper's point).
+    assert all(factor > 1.0 for factor in expansion.values())

@@ -1,0 +1,60 @@
+"""Section 4.1 claim: Scribe switches DHT substrate with a one-line change.
+
+"the Scribe application-layer multicast protocol can be switched from using
+Pastry to Chord by changing a single line in its MACEDON specification."
+This benchmark builds Scribe over both substrates from the same specification
+(overriding only the ``uses`` header) and verifies multicast delivery works on
+both, reporting delivery rate and mean latency side by side.
+"""
+
+from __future__ import annotations
+
+from repro.apps import StreamReceiver, StreamingSource
+from repro.eval import ExperimentConfig, OverlayExperiment, mean
+from repro.eval.reports import format_table
+from repro.protocols import scribe_stack
+
+NUM_NODES = 30
+GROUP = 77
+
+
+def run_over(base: str, seed: int):
+    experiment = OverlayExperiment(
+        scribe_stack(base=base),
+        ExperimentConfig(num_nodes=NUM_NODES, seed=seed, convergence_time=100.0))
+    experiment.init_all(staggered=0.2)
+    experiment.converge()
+    source = experiment.nodes[1]
+    source.macedon_create_group(GROUP)
+    experiment.run(5.0)
+    receivers = [StreamReceiver(node) for node in experiment.nodes if node is not source]
+    for node in experiment.nodes:
+        if node is not source:
+            node.macedon_join(GROUP)
+    experiment.run(40.0)
+    streamer = StreamingSource(source, GROUP, rate_bps=80_000, packet_bytes=1000)
+    streamer.start(duration=20.0)
+    experiment.run(40.0)
+    sent = streamer.stats.packets_sent
+    delivery = mean([r.packets_received / sent for r in receivers]) if sent else 0.0
+    latency = mean([r.average_latency() for r in receivers if r.deliveries])
+    return delivery, latency
+
+
+def test_scribe_substrate_switch(once):
+    def run():
+        return run_over("pastry", seed=131), run_over("chord", seed=131)
+
+    (pastry_delivery, pastry_latency), (chord_delivery, chord_latency) = once(run)
+
+    print()
+    print(format_table(
+        ["substrate", "delivery rate", "mean latency ms"],
+        [("pastry", f"{pastry_delivery:.2f}", f"{pastry_latency * 1000:.1f}"),
+         ("chord", f"{chord_delivery:.2f}", f"{chord_latency * 1000:.1f}")],
+        title="Scribe over two DHT substrates (one-line change)"))
+
+    assert pastry_delivery > 0.9
+    assert chord_delivery > 0.9
+    assert pastry_latency > 0
+    assert chord_latency > 0

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Quickstart: write a MACEDON specification, generate code, and run it.
+
+This example does the whole MACEDON cycle in one file:
+
+1. define a tiny overlay protocol (a heartbeat ring) in the mac DSL;
+2. compile it to a Python agent class with the code generator;
+3. run a handful of nodes over the emulated network;
+4. print what happened.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.codegen import compile_mac
+from repro.network import NetworkEmulator, transit_stub_topology
+from repro.runtime import MacedonNode, Simulator, Tracer
+
+HEARTBEAT_MAC = """
+// A toy protocol: every node periodically pings the bootstrap, which counts
+// the pings and acknowledges them.
+protocol heartbeat
+addressing ip
+trace_med
+
+constants { PERIOD = 2.0; }
+
+states { running; }
+
+transports { UDP BEST_EFFORT; }
+
+messages {
+    BEST_EFFORT ping { int count; }
+    BEST_EFFORT ack { int count; }
+}
+
+state_variables {
+    int pings_seen;
+    int acks_seen;
+    timer beat 2.0;
+}
+
+transitions {
+    any API init {
+        state_change("running")
+        if not is_bootstrap:
+            timer_sched(beat, PERIOD)
+    }
+
+    running timer beat {
+        send_msg("ping", bootstrap_addr, count=acks_seen)
+        timer_resched(beat, PERIOD)
+    }
+
+    running recv ping {
+        pings_seen = pings_seen + 1
+        send_msg("ack", source, count=field("count") + 1)
+    }
+
+    running recv ack {
+        acks_seen = field("count")
+    }
+}
+"""
+
+
+def main() -> None:
+    # 1-2. Parse, validate, and compile the specification into an agent class.
+    HeartbeatAgent = compile_mac(HEARTBEAT_MAC, "heartbeat.mac")
+    print(f"generated agent class: {HeartbeatAgent.__name__} "
+          f"(protocol {HeartbeatAgent.PROTOCOL!r}, "
+          f"{len(HeartbeatAgent.TRANSITIONS)} transitions)")
+
+    # 3. Build an emulated network and run five nodes for a minute.
+    simulator = Simulator(seed=7)
+    topology = transit_stub_topology(5, seed=7)
+    emulator = NetworkEmulator(simulator, topology)
+    tracer = Tracer()
+    nodes = [MacedonNode(simulator, emulator, [HeartbeatAgent], tracer=tracer)
+             for _ in range(5)]
+    bootstrap = nodes[0]
+    for node in nodes:
+        node.macedon_init(bootstrap.address)
+    simulator.run(until=60.0)
+
+    # 4. Inspect protocol state and runtime traces.
+    print(f"simulated {simulator.now:.0f} s, "
+          f"{emulator.stats.packets_delivered} packets delivered")
+    print(f"bootstrap saw {bootstrap.lowest_agent.pings_seen} pings")
+    for node in nodes[1:]:
+        print(f"  node {node.address}: acks_seen={node.lowest_agent.acks_seen}")
+    print(f"trace events by category: {dict(tracer.counts)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""The overlay-generic MACEDON API."""
+
+from .handlers import DeliverHandler, ForwardHandler, Handlers, NotifyHandler, UpcallHandler
+from .macedon import (
+    MacedonAPI,
+    macedon_anycast,
+    macedon_collect,
+    macedon_create_group,
+    macedon_init,
+    macedon_join,
+    macedon_leave,
+    macedon_multicast,
+    macedon_register_handlers,
+    macedon_route,
+    macedon_routeIP,
+)
+
+__all__ = [
+    "DeliverHandler",
+    "ForwardHandler",
+    "Handlers",
+    "NotifyHandler",
+    "UpcallHandler",
+    "MacedonAPI",
+    "macedon_anycast",
+    "macedon_collect",
+    "macedon_create_group",
+    "macedon_init",
+    "macedon_join",
+    "macedon_leave",
+    "macedon_multicast",
+    "macedon_register_handlers",
+    "macedon_route",
+    "macedon_routeIP",
+]

@@ -1,0 +1,129 @@
+"""The overlay-generic MACEDON API (Figure 3 of the paper).
+
+Applications program against this API instead of against any particular
+overlay, so switching the underlying overlay is a one-line change.  The class
+below is a thin veneer over :class:`~repro.runtime.node.MacedonNode`; the
+free functions mirror the C-style names from the paper for readers following
+along with the original figure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..runtime.node import MacedonNode
+from .handlers import DeliverHandler, ForwardHandler, NotifyHandler, UpcallHandler
+
+
+class MacedonAPI:
+    """Object-oriented wrapper over one node's MACEDON API."""
+
+    def __init__(self, node: MacedonNode) -> None:
+        self._node = node
+
+    @property
+    def node(self) -> MacedonNode:
+        return self._node
+
+    @property
+    def address(self) -> int:
+        """This node's host (IP-like) address."""
+        return self._node.address
+
+    @property
+    def key(self) -> int:
+        """This node's identifier in the hash address space."""
+        return self._node.highest_agent.my_key
+
+    # ------------------------------------------------------------------ control
+    def init(self, bootstrap: int, protocol: Optional[str] = None) -> None:
+        self._node.macedon_init(bootstrap, protocol)
+
+    def register_handlers(self,
+                          forward: Optional[ForwardHandler] = None,
+                          deliver: Optional[DeliverHandler] = None,
+                          notify: Optional[NotifyHandler] = None,
+                          upcall: Optional[UpcallHandler] = None) -> None:
+        self._node.macedon_register_handlers(deliver=deliver, forward=forward,
+                                             notify=notify, upcall=upcall)
+
+    def create_group(self, group_id: int) -> Any:
+        return self._node.macedon_create_group(group_id)
+
+    def join(self, group_id: int) -> Any:
+        return self._node.macedon_join(group_id)
+
+    def leave(self, group_id: int) -> Any:
+        return self._node.macedon_leave(group_id)
+
+    # --------------------------------------------------------------------- data
+    def route(self, dest_key: int, payload: Any, size: int, priority: int = -1) -> Any:
+        return self._node.macedon_route(dest_key, payload, size, priority)
+
+    def route_ip(self, dest: int, payload: Any, size: int, priority: int = -1) -> Any:
+        return self._node.macedon_routeIP(dest, payload, size, priority)
+
+    def multicast(self, group_id: int, payload: Any, size: int,
+                  priority: int = -1) -> Any:
+        return self._node.macedon_multicast(group_id, payload, size, priority)
+
+    def anycast(self, group_id: int, payload: Any, size: int,
+                priority: int = -1) -> Any:
+        return self._node.macedon_anycast(group_id, payload, size, priority)
+
+    def collect(self, group_id: int, payload: Any, size: int,
+                priority: int = -1) -> Any:
+        return self._node.macedon_collect(group_id, payload, size, priority)
+
+
+# ---------------------------------------------------------------- C-style names
+def macedon_init(node: MacedonNode, bootstrap: int, prot: Optional[str] = None) -> None:
+    """``macedon_init(macedon_key bootstrap, int prot)``."""
+    node.macedon_init(bootstrap, prot)
+
+
+def macedon_register_handlers(node: MacedonNode,
+                              forward: Optional[ForwardHandler] = None,
+                              deliver: Optional[DeliverHandler] = None,
+                              notify: Optional[NotifyHandler] = None,
+                              upcall: Optional[UpcallHandler] = None) -> None:
+    """``macedon_register_handlers(...)``."""
+    node.macedon_register_handlers(deliver=deliver, forward=forward,
+                                   notify=notify, upcall=upcall)
+
+
+def macedon_create_group(node: MacedonNode, group_id: int) -> Any:
+    return node.macedon_create_group(group_id)
+
+
+def macedon_join(node: MacedonNode, group_id: int) -> Any:
+    return node.macedon_join(group_id)
+
+
+def macedon_leave(node: MacedonNode, group_id: int) -> Any:
+    return node.macedon_leave(group_id)
+
+
+def macedon_route(node: MacedonNode, dest: int, msg: Any, size: int,
+                  priority: int = -1) -> Any:
+    return node.macedon_route(dest, msg, size, priority)
+
+
+def macedon_routeIP(node: MacedonNode, dest: int, msg: Any, size: int,
+                    priority: int = -1) -> Any:
+    return node.macedon_routeIP(dest, msg, size, priority)
+
+
+def macedon_multicast(node: MacedonNode, group_id: int, msg: Any, size: int,
+                      priority: int = -1) -> Any:
+    return node.macedon_multicast(group_id, msg, size, priority)
+
+
+def macedon_anycast(node: MacedonNode, group_id: int, msg: Any, size: int,
+                    priority: int = -1) -> Any:
+    return node.macedon_anycast(group_id, msg, size, priority)
+
+
+def macedon_collect(node: MacedonNode, group_id: int, msg: Any, size: int,
+                    priority: int = -1) -> Any:
+    return node.macedon_collect(group_id, msg, size, priority)

@@ -1,0 +1,20 @@
+"""Reusable MACEDON test applications.
+
+These are the applications the paper's evaluation drives its overlays with: a
+constant-rate streaming source (SplitStream/Scribe experiments), a
+random-destination routing workload (the Pastry latency experiment), and a
+collection/summary application exercising ``macedon_collect``.
+"""
+
+from .payload import AppPayload
+from .random_route import RandomRouteWorkload, RouteSample
+from .streaming import StreamReceiver, StreamingSource, bandwidth_timeseries
+
+__all__ = [
+    "AppPayload",
+    "RandomRouteWorkload",
+    "RouteSample",
+    "StreamReceiver",
+    "StreamingSource",
+    "bandwidth_timeseries",
+]

@@ -1,0 +1,27 @@
+"""Application payloads carried through overlays.
+
+The network emulator charges bytes based on the declared payload size; the
+payload object itself rides along so receivers can compute per-packet latency
+and loss, and so link-stress accounting can recognise the same application
+packet crossing multiple overlay hops (via ``tag``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AppPayload:
+    """One application packet."""
+
+    seqno: int
+    sent_at: float
+    source: int
+    size: int = 1000
+    stream_id: int = 0
+
+    @property
+    def tag(self) -> str:
+        """Stable identity used for link-stress accounting across overlay hops."""
+        return f"app:{self.stream_id}:{self.source}:{self.seqno}"

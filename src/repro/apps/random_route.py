@@ -1,0 +1,123 @@
+"""Random-destination routing workload.
+
+The paper's Pastry validation (Figure 11) has every node stream 1000-byte
+packets at 10 Kbps to destination keys drawn uniformly at random from the
+hash space, then reports the average per-packet end-to-end latency.  This
+module implements that workload against the MACEDON API plus a global
+collector so the same harness can drive MACEDON Pastry and the FreePastry
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..runtime.engine import EventHandle, Simulator
+from ..runtime.keys import KeySpace
+from ..runtime.node import MacedonNode
+from .payload import AppPayload
+
+
+@dataclass
+class RouteSample:
+    """One delivered packet: who sent it, when, and when it arrived."""
+
+    source: int
+    dest_key: int
+    sent_at: float
+    received_at: float
+    receiver: int
+    size: int
+
+    @property
+    def latency(self) -> float:
+        return self.received_at - self.sent_at
+
+
+class RandomRouteWorkload:
+    """Every node streams packets to uniform-random keys; latency is recorded."""
+
+    def __init__(self, nodes: Sequence[MacedonNode], *, rate_bps: float = 10_000,
+                 packet_bytes: int = 1000,
+                 key_space: Optional[KeySpace] = None, seed: int = 0) -> None:
+        if not nodes:
+            raise ValueError("need at least one node")
+        self.nodes = list(nodes)
+        self.simulator: Simulator = self.nodes[0].simulator
+        self.rate_bps = rate_bps
+        self.packet_bytes = packet_bytes
+        self.key_space = key_space or KeySpace()
+        self.interval = (packet_bytes * 8) / rate_bps
+        self._rng = self.simulator.fork_rng(f"random-route:{seed}")
+        self.samples: list[RouteSample] = []
+        self.packets_sent = 0
+        self._handles: list[EventHandle] = []
+        self._running = False
+        self._pending: dict[tuple[int, int], tuple[int, float, int]] = {}
+        for node in self.nodes:
+            node.macedon_register_handlers(
+                deliver=self._make_deliver(node.address))
+
+    def _make_deliver(self, receiver: int):
+        def _deliver(payload, size, mtype) -> None:
+            if not isinstance(payload, AppPayload):
+                return
+            pending = self._pending.pop((payload.source, payload.seqno), None)
+            if pending is None:
+                return
+            dest_key, sent_at, packet_size = pending
+            self.samples.append(RouteSample(source=payload.source, dest_key=dest_key,
+                                            sent_at=sent_at,
+                                            received_at=self.simulator.now,
+                                            receiver=receiver, size=packet_size))
+        return _deliver
+
+    # -------------------------------------------------------------------- drive
+    def start(self, duration: float) -> None:
+        """Start every node's stream, stopping after *duration* seconds."""
+        self._running = True
+        self._deadline = self.simulator.now + duration
+        for index, node in enumerate(self.nodes):
+            # Stagger starts so all nodes do not transmit in lockstep.
+            offset = self.interval * (index / max(1, len(self.nodes)))
+            handle = self.simulator.schedule(offset, self._send_from, node, index)
+            self._handles.append(handle)
+
+    def stop(self) -> None:
+        self._running = False
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+
+    def _send_from(self, node: MacedonNode, index: int) -> None:
+        if not self._running or self.simulator.now >= self._deadline:
+            return
+        dest_key = self._rng.randrange(self.key_space.size)
+        seqno = self.packets_sent
+        payload = AppPayload(seqno=seqno, sent_at=self.simulator.now,
+                             source=node.address, size=self.packet_bytes,
+                             stream_id=1)
+        self._pending[(node.address, seqno)] = (dest_key, self.simulator.now,
+                                                self.packet_bytes)
+        node.macedon_route(dest_key, payload, self.packet_bytes)
+        self.packets_sent += 1
+        handle = self.simulator.schedule(self.interval, self._send_from, node, index)
+        self._handles.append(handle)
+
+    # ------------------------------------------------------------------ metrics
+    def average_latency(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(sample.latency for sample in self.samples) / len(self.samples)
+
+    def delivery_rate(self) -> float:
+        if self.packets_sent == 0:
+            return 0.0
+        return len(self.samples) / self.packets_sent
+
+    def per_receiver_counts(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for sample in self.samples:
+            counts[sample.receiver] = counts.get(sample.receiver, 0) + 1
+        return counts

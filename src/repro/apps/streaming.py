@@ -1,0 +1,164 @@
+"""Constant-rate streaming source and receiver.
+
+The paper's SplitStream experiment streams 1000-byte packets at 600 Kbps from
+one source to a 300-node forest and reports per-node average bandwidth over
+time (Figure 12); the Pastry experiment streams 10 Kbps per node.  These two
+classes implement that workload against the MACEDON API so any overlay can be
+swapped underneath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..runtime.engine import EventHandle, Simulator
+from ..runtime.node import MacedonNode
+from .payload import AppPayload
+
+
+@dataclass
+class StreamStats:
+    packets_sent: int = 0
+    bytes_sent: int = 0
+
+
+class StreamingSource:
+    """Streams fixed-size packets at a target bit rate into a multicast group."""
+
+    def __init__(self, node: MacedonNode, group: int, *, rate_bps: float,
+                 packet_bytes: int = 1000, stream_id: int = 0) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        self.node = node
+        self.simulator: Simulator = node.simulator
+        self.group = group
+        self.rate_bps = rate_bps
+        self.packet_bytes = packet_bytes
+        self.stream_id = stream_id
+        self.interval = (packet_bytes * 8) / rate_bps
+        self.stats = StreamStats()
+        self._next_seqno = 0
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+
+    def start(self, duration: Optional[float] = None) -> None:
+        """Begin streaming; stop automatically after *duration* seconds if given."""
+        self._running = True
+        self._deadline = None if duration is None else self.simulator.now + duration
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _schedule_next(self) -> None:
+        if not self._running:
+            return
+        self._handle = self.simulator.schedule(self.interval, self._send_one,
+                                               label="stream-send")
+
+    def _send_one(self) -> None:
+        if not self._running:
+            return
+        if self._deadline is not None and self.simulator.now >= self._deadline:
+            self._running = False
+            return
+        payload = AppPayload(seqno=self._next_seqno, sent_at=self.simulator.now,
+                             source=self.node.address, size=self.packet_bytes,
+                             stream_id=self.stream_id)
+        self._next_seqno += 1
+        self.node.macedon_multicast(self.group, payload, self.packet_bytes)
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += self.packet_bytes
+        self._schedule_next()
+
+
+@dataclass
+class Delivery:
+    """One packet received by a stream receiver."""
+
+    seqno: int
+    sent_at: float
+    received_at: float
+    size: int
+
+    @property
+    def latency(self) -> float:
+        return self.received_at - self.sent_at
+
+
+class StreamReceiver:
+    """Registers a deliver handler and records every received packet."""
+
+    def __init__(self, node: MacedonNode, *, stream_id: Optional[int] = None) -> None:
+        self.node = node
+        self.simulator = node.simulator
+        self.stream_id = stream_id
+        self.deliveries: list[Delivery] = []
+        self._seen: set[tuple[int, int]] = set()
+        node.macedon_register_handlers(deliver=self._on_deliver)
+
+    def _on_deliver(self, payload, size, mtype) -> None:
+        if not isinstance(payload, AppPayload):
+            return
+        if self.stream_id is not None and payload.stream_id != self.stream_id:
+            return
+        key = (payload.source, payload.seqno)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.deliveries.append(Delivery(seqno=payload.seqno, sent_at=payload.sent_at,
+                                        received_at=self.simulator.now,
+                                        size=payload.size))
+
+    # ------------------------------------------------------------------ metrics
+    @property
+    def packets_received(self) -> int:
+        return len(self.deliveries)
+
+    @property
+    def bytes_received(self) -> int:
+        return sum(delivery.size for delivery in self.deliveries)
+
+    def average_latency(self) -> float:
+        if not self.deliveries:
+            return 0.0
+        return sum(d.latency for d in self.deliveries) / len(self.deliveries)
+
+    def average_bandwidth_bps(self, start: float, end: float) -> float:
+        """Average received bandwidth (bits/second) over [start, end)."""
+        if end <= start:
+            return 0.0
+        received = sum(d.size for d in self.deliveries if start <= d.received_at < end)
+        return received * 8 / (end - start)
+
+    def loss_rate(self, packets_sent: int) -> float:
+        if packets_sent <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.packets_received / packets_sent)
+
+
+def bandwidth_timeseries(receivers: list[StreamReceiver], *, start: float,
+                         end: float, bucket: float) -> list[tuple[float, float]]:
+    """Per-bucket average received bandwidth (bps) across *receivers*.
+
+    This is the quantity plotted in Figure 12: average per-node bandwidth over
+    time after the convergence period.
+    """
+    if bucket <= 0:
+        raise ValueError("bucket must be positive")
+    series: list[tuple[float, float]] = []
+    t = start
+    while t < end:
+        bucket_end = min(t + bucket, end)
+        if receivers:
+            average = sum(r.average_bandwidth_bps(t, bucket_end) for r in receivers)
+            average /= len(receivers)
+        else:
+            average = 0.0
+        series.append((t - start, average))
+        t = bucket_end
+    return series

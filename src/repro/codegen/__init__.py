@@ -1,0 +1,40 @@
+"""MACEDON code generation: mac specifications → Python agent classes."""
+
+from .generator import (
+    CodeGenerator,
+    class_name_for,
+    generate_source,
+    module_name_for,
+    normalize_action_code,
+    rewrite_action_code,
+)
+from .primitives import AGENT_PRIMITIVES, CONTEXT_NAMES
+from .registry import (
+    ProtocolRegistry,
+    compile_mac,
+    compile_source,
+    compile_spec,
+    default_specs_dir,
+    get_registry,
+    load_protocol,
+    load_stack,
+)
+
+__all__ = [
+    "CodeGenerator",
+    "class_name_for",
+    "generate_source",
+    "module_name_for",
+    "normalize_action_code",
+    "rewrite_action_code",
+    "AGENT_PRIMITIVES",
+    "CONTEXT_NAMES",
+    "ProtocolRegistry",
+    "compile_mac",
+    "compile_source",
+    "compile_spec",
+    "default_specs_dir",
+    "get_registry",
+    "load_protocol",
+    "load_stack",
+]

@@ -1,0 +1,323 @@
+"""The MACEDON code generator: mac AST → Python agent source.
+
+The paper's toolchain translates a specification into C++ that links against
+the shared runtime libraries; here the target is a Python module defining one
+subclass of :class:`repro.runtime.agent.Agent`.  The output is genuine source
+text — it can be written to disk, inspected, diffed, and imported — rather
+than an interpreter over the AST, preserving the paper's "generate code, then
+run it everywhere" workflow.
+
+Transition bodies are Python (the embedded action language), written against
+the MACEDON primitive library.  :func:`rewrite_action_code` retargets bare
+primitive and state-variable names onto ``self`` and event-context names onto
+the transition's ``__ctx`` argument using token-level rewriting, so strings
+and comments are never touched and the emitted code keeps the author's
+formatting.
+"""
+
+from __future__ import annotations
+
+import io
+import keyword
+import re
+import textwrap
+import tokenize
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..dsl.ast import ProtocolSpec, TransitionDecl
+from ..dsl.errors import CodegenError
+from .primitives import AGENT_PRIMITIVES, CONTEXT_NAMES
+
+_ROUTINE_DEF_RE = re.compile(r"^\s*def\s+([A-Za-z_][A-Za-z_0-9]*)\s*\(", re.MULTILINE)
+
+
+# --------------------------------------------------------------------- helpers
+def class_name_for(protocol_name: str) -> str:
+    """Python class name for a protocol, e.g. ``split_stream`` → ``SplitStreamAgent``."""
+    parts = re.split(r"[_\-]+", protocol_name)
+    return "".join(part.capitalize() for part in parts if part) + "Agent"
+
+
+def module_name_for(protocol_name: str) -> str:
+    """Synthetic module name under which generated code is registered."""
+    return f"repro._generated.{protocol_name}"
+
+
+@dataclass
+class _Replacement:
+    row: int          # 1-based line number within the body
+    col_start: int
+    col_end: int
+    text: str
+
+
+def rewrite_action_code(code: str, self_names: Iterable[str],
+                        ctx_names: Iterable[str] = CONTEXT_NAMES,
+                        *, context: str = "") -> str:
+    """Rewrite a transition/routine body onto runtime objects.
+
+    ``self_names`` are rewritten to ``self.<name>``; ``ctx_names`` to
+    ``__ctx.<name>``.  Names used as attribute accesses (``x.delay``) or as
+    keyword arguments (``f(response=1)``) are left alone.
+    """
+    body = normalize_action_code(code)
+    self_set = frozenset(self_names)
+    ctx_set = frozenset(ctx_names)
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(body).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError) as exc:
+        raise CodegenError(f"cannot tokenize action code ({context}): {exc}") from exc
+
+    replacements: list[_Replacement] = []
+    significant: list[tokenize.TokenInfo] = [
+        token for token in tokens
+        if token.type not in (tokenize.NL, tokenize.NEWLINE, tokenize.INDENT,
+                              tokenize.DEDENT, tokenize.COMMENT,
+                              tokenize.ENCODING, tokenize.ENDMARKER)
+    ]
+    for index, token in enumerate(significant):
+        if token.type != tokenize.NAME:
+            continue
+        name = token.string
+        if keyword.iskeyword(name):
+            continue
+        if name not in self_set and name not in ctx_set:
+            continue
+        previous = significant[index - 1] if index > 0 else None
+        nxt = significant[index + 1] if index + 1 < len(significant) else None
+        # Attribute access: obj.name — leave alone.
+        if previous is not None and previous.type == tokenize.OP and previous.string == ".":
+            continue
+        # Keyword argument: f(name=value) — leave alone.
+        if (nxt is not None and nxt.type == tokenize.OP and nxt.string == "="
+                and previous is not None and previous.type == tokenize.OP
+                and previous.string in "(,"):
+            continue
+        prefix = "self." if name in self_set else "__ctx."
+        replacements.append(_Replacement(row=token.start[0], col_start=token.start[1],
+                                         col_end=token.end[1], text=f"{prefix}{name}"))
+
+    if not replacements:
+        return body
+    lines = body.splitlines()
+    # Apply right-to-left within each line so earlier columns stay valid.
+    replacements.sort(key=lambda item: (item.row, item.col_start), reverse=True)
+    for replacement in replacements:
+        line = lines[replacement.row - 1]
+        lines[replacement.row - 1] = (
+            line[:replacement.col_start] + replacement.text + line[replacement.col_end:]
+        )
+    return "\n".join(lines)
+
+
+def normalize_action_code(code: str) -> str:
+    """Dedent and trim an embedded code block; empty blocks become ``pass``."""
+    stripped = code.strip("\n")
+    if not stripped.strip():
+        return "pass"
+    return textwrap.dedent(stripped).strip("\n")
+
+
+def _indent(code: str, spaces: int) -> str:
+    pad = " " * spaces
+    return "\n".join(pad + line if line.strip() else "" for line in code.splitlines())
+
+
+def routine_method_names(spec: ProtocolSpec) -> list[str]:
+    """Names of helper methods defined in the spec's routines blocks."""
+    names: list[str] = []
+    for routine in spec.routines:
+        names.extend(_ROUTINE_DEF_RE.findall(routine.code))
+    return names
+
+
+# ---------------------------------------------------------------- generation
+class CodeGenerator:
+    """Generates a Python module from a validated :class:`ProtocolSpec`."""
+
+    def __init__(self, spec: ProtocolSpec) -> None:
+        self.spec = spec
+        self.constants = spec.constant_map()
+
+    # ------------------------------------------------------------------ naming
+    def _transition_method_name(self, index: int, transition: TransitionDecl) -> str:
+        safe = re.sub(r"[^A-Za-z_0-9]", "_", transition.name)
+        return f"_t{index:02d}_{transition.kind}_{safe}"
+
+    def _self_names(self) -> frozenset[str]:
+        names = set(AGENT_PRIMITIVES)
+        names.update(self.constants)
+        names.update(self.spec.state_var_names())
+        names.update(routine_method_names(self.spec))
+        return frozenset(names)
+
+    # ---------------------------------------------------------------- sections
+    def generate(self) -> str:
+        """Return the complete Python source of the generated module."""
+        spec = self.spec
+        class_name = class_name_for(spec.name)
+        parts: list[str] = []
+        parts.append(self._header())
+        parts.append(self._imports())
+        parts.append(f"class {class_name}(Agent):")
+        parts.append(f'    """MACEDON agent generated from {spec.name}.mac."""\n')
+        parts.append(self._class_attributes())
+        parts.append(self._routines())
+        parts.append(self._transition_methods())
+        parts.append(f'\n\nAGENT_CLASS = {class_name}\n')
+        source = "\n".join(part for part in parts if part)
+        return source
+
+    def _header(self) -> str:
+        origin = self.spec.source_file or f"{self.spec.name}.mac"
+        return (
+            f'"""Generated by the MACEDON code generator from {origin}.\n\n'
+            f"Do not edit by hand: regenerate from the specification instead.\n"
+            f'"""\n'
+        )
+
+    def _imports(self) -> str:
+        return (
+            "from repro.runtime.agent import (\n"
+            "    Agent,\n"
+            "    StateVarSpec,\n"
+            "    TransitionSpec,\n"
+            "    NBR_TYPE_PARENT,\n"
+            "    NBR_TYPE_CHILDREN,\n"
+            "    NBR_TYPE_SIBLINGS,\n"
+            "    NBR_TYPE_PEERS,\n"
+            ")\n"
+            "from repro.runtime.keys import KeySpace\n"
+            "from repro.runtime.messages import FieldSpec, MessageType, WrappedMessage\n"
+            "from repro.runtime.neighbors import NeighborFieldSpec, NeighborType\n"
+            "from repro.runtime.tracing import TraceLevel\n"
+            "\n"
+        )
+
+    def _class_attributes(self) -> str:
+        spec = self.spec
+        lines: list[str] = []
+        lines.append(f"    PROTOCOL = {spec.name!r}")
+        lines.append(f"    BASE_PROTOCOL = {spec.base!r}")
+        lines.append(f"    ADDRESSING = {spec.addressing!r}")
+        lines.append(f"    TRACE = TraceLevel.{spec.trace.upper()}")
+        lines.append(f"    CONSTANTS = {self.constants!r}")
+        lines.append(f"    STATES = {tuple(spec.states)!r}")
+        lines.append(self._neighbor_types_attr())
+        lines.append(self._transports_attr())
+        lines.append(self._messages_attr())
+        lines.append(self._state_vars_attr())
+        lines.append(self._transitions_attr())
+        lines.append("    KEY_SPACE = KeySpace()")
+        lines.append("")
+        return "\n".join(lines)
+
+    def _neighbor_types_attr(self) -> str:
+        if not self.spec.neighbor_types:
+            return "    NEIGHBOR_TYPES = {}"
+        entries = []
+        for decl in self.spec.neighbor_types:
+            max_size = decl.max_size
+            if isinstance(max_size, str):
+                max_size = self.constants.get(max_size)
+                if not isinstance(max_size, int):
+                    raise CodegenError(
+                        f"neighbor type {decl.name!r}: max size constant does not "
+                        f"resolve to an integer", filename=self.spec.source_file,
+                        line=decl.line)
+            field_parts = []
+            for field in decl.fields:
+                type_name = "list" if field.is_list else field.type_name
+                field_parts.append(f"NeighborFieldSpec({field.name!r}, {type_name!r})")
+            fields = ", ".join(field_parts)
+            field_tuple = f"({fields},)" if fields else "()"
+            entries.append(
+                f"        {decl.name!r}: NeighborType({decl.name!r}, {max_size}, "
+                f"{field_tuple}),"
+            )
+        return "    NEIGHBOR_TYPES = {\n" + "\n".join(entries) + "\n    }"
+
+    def _transports_attr(self) -> str:
+        if not self.spec.transports:
+            return "    TRANSPORT_DECLS = ()"
+        entries = ", ".join(f"({decl.kind!r}, {decl.name!r})"
+                            for decl in self.spec.transports)
+        return f"    TRANSPORT_DECLS = ({entries},)"
+
+    def _messages_attr(self) -> str:
+        if not self.spec.messages:
+            return "    MESSAGE_TYPES = ()"
+        entries = []
+        for message in self.spec.messages:
+            fields = ", ".join(
+                f"FieldSpec({field.name!r}, {field.type_name!r}, "
+                f"is_list={field.is_list!r})"
+                for field in message.fields
+            )
+            field_tuple = f"({fields},)" if fields else "()"
+            entries.append(
+                f"        MessageType({message.name!r}, {field_tuple}, "
+                f"{message.transport!r}),"
+            )
+        return "    MESSAGE_TYPES = (\n" + "\n".join(entries) + "\n    )"
+
+    def _state_vars_attr(self) -> str:
+        if not self.spec.state_vars:
+            return "    STATE_VARS = ()"
+        entries = []
+        for var in self.spec.state_vars:
+            entries.append(
+                "        StateVarSpec(name={name!r}, kind={kind!r}, "
+                "type_name={type_name!r}, default={default!r}, "
+                "fail_detect={fail_detect!r}, period={period!r}),".format(
+                    name=var.name, kind=var.kind, type_name=var.type_name,
+                    default=var.default, fail_detect=var.fail_detect,
+                    period=var.period)
+            )
+        return "    STATE_VARS = (\n" + "\n".join(entries) + "\n    )"
+
+    def _transitions_attr(self) -> str:
+        if not self.spec.transitions:
+            return "    TRANSITIONS = ()"
+        entries = []
+        for index, transition in enumerate(self.spec.transitions):
+            method = self._transition_method_name(index, transition)
+            entries.append(
+                f"        TransitionSpec(kind={transition.kind!r}, "
+                f"name={transition.name!r}, state_expr={transition.state_expr!r}, "
+                f"method={method!r}, locking={transition.locking!r}),"
+            )
+        return "    TRANSITIONS = (\n" + "\n".join(entries) + "\n    )"
+
+    def _routines(self) -> str:
+        if not self.spec.routines:
+            return ""
+        blocks = []
+        for routine in self.spec.routines:
+            code = normalize_action_code(routine.code)
+            blocks.append(_indent(code, 4))
+        return "\n    # ---- user routines ----\n" + "\n\n".join(blocks) + "\n"
+
+    def _transition_methods(self) -> str:
+        self_names = self._self_names()
+        blocks = []
+        for index, transition in enumerate(self.spec.transitions):
+            method = self._transition_method_name(index, transition)
+            context = (f"{self.spec.name}.mac line {transition.line}: "
+                       f"{transition.state_expr} {transition.kind} {transition.name}")
+            body = rewrite_action_code(transition.code, self_names, context=context)
+            docstring = (f'"""{transition.state_expr} {transition.kind} '
+                         f'{transition.name}  [locking {transition.locking}] '
+                         f'(line {transition.line})."""')
+            blocks.append(
+                f"    def {method}(self, __ctx):\n"
+                f"        {docstring}\n"
+                + _indent(body, 8)
+            )
+        return "\n\n".join(blocks)
+
+
+def generate_source(spec: ProtocolSpec) -> str:
+    """Convenience wrapper: generate Python source for a validated spec."""
+    return CodeGenerator(spec).generate()

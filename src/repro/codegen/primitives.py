@@ -1,0 +1,55 @@
+"""Name tables used when translating transition bodies.
+
+A transition body in a mac file is written against the MACEDON action library
+— bare calls such as ``neighbor_add(papa, source)`` or ``state_change(joined)``
+— plus the protocol's own state variables and constants, and a small set of
+event-context names (``source``, ``msg``, ``dest_key``, …).  The code
+generator rewrites each of these name classes onto the runtime objects that
+implement them:
+
+* **agent primitives and declared state** become ``self.<name>`` (they are
+  methods/attributes of :class:`repro.runtime.agent.Agent` or of the generated
+  subclass);
+* **event-context names** become ``__ctx.<name>`` (attributes of the
+  :class:`repro.runtime.agent.TransitionContext` passed to every transition).
+
+Anything else — locals, builtins, helper routines the user prefixed with
+``self.`` explicitly — is left untouched.
+"""
+
+from __future__ import annotations
+
+#: Names rewritten to ``self.<name>``: the MACEDON action library plus
+#: runtime attributes that transitions commonly read.
+AGENT_PRIMITIVES: frozenset[str] = frozenset({
+    # FSM / identity
+    "state_change", "state", "my_addr", "my_key", "is_bootstrap",
+    "bootstrap_addr", "bootstrap_key", "key_space", "now", "random",
+    "random_int", "hash_of",
+    # neighbor management
+    "neighbor_add", "neighbor_remove", "neighbor_clear", "neighbor_size",
+    "neighbor_query", "neighbor_entry", "neighbor_random", "neighbor_addresses",
+    # timer subsystem
+    "timer_sched", "timer_resched", "timer_cancel",
+    # message transmission
+    "send_msg", "route_msg", "routeip_msg", "wrap_msg",
+    # downcalls into the layer below
+    "downcall_route", "downcall_routeip", "downcall_multicast",
+    "downcall_anycast", "downcall_collect", "downcall_create_group",
+    "downcall_join", "downcall_leave", "downcall_ext",
+    # upcalls into the layer above / application
+    "upcall_deliver", "upcall_forward", "upcall_notify", "upcall_ext",
+    # tracing / locking / plumbing
+    "trace", "debug", "lock", "node", "simulator", "lower", "upper",
+})
+
+#: Names rewritten to ``__ctx.<name>``: the event context of the transition.
+CONTEXT_NAMES: frozenset[str] = frozenset({
+    "api", "source", "source_key", "msg", "dest", "dest_key", "group",
+    "payload", "payload_size", "priority", "bootstrap", "next_hop",
+    "next_hop_key", "quash", "error_addr", "neighbors", "nbr_type", "op",
+    "arg", "timer_name", "result", "field",
+})
+
+#: Sanity guard: a name must not be claimed by both tables.
+assert not (AGENT_PRIMITIVES & CONTEXT_NAMES), "primitive/context name collision"

@@ -1,0 +1,41 @@
+"""The MACEDON domain-specific language front end (Figure-4 grammar)."""
+
+from .ast import (
+    ConstantDecl,
+    FieldDecl,
+    MessageDecl,
+    NeighborTypeDecl,
+    ProtocolSpec,
+    RoutineDecl,
+    StateVarDecl,
+    TransitionDecl,
+    TransportDecl,
+)
+from .errors import CodegenError, MacError, MacSyntaxError, MacValidationError
+from .lexer import Lexer, Token
+from .loader import load_spec, load_spec_text
+from .parser import parse_mac, parse_mac_file
+from .validator import validate
+
+__all__ = [
+    "ConstantDecl",
+    "FieldDecl",
+    "MessageDecl",
+    "NeighborTypeDecl",
+    "ProtocolSpec",
+    "RoutineDecl",
+    "StateVarDecl",
+    "TransitionDecl",
+    "TransportDecl",
+    "CodegenError",
+    "MacError",
+    "MacSyntaxError",
+    "MacValidationError",
+    "Lexer",
+    "Token",
+    "load_spec",
+    "load_spec_text",
+    "parse_mac",
+    "parse_mac_file",
+    "validate",
+]

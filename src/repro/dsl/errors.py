@@ -1,0 +1,34 @@
+"""Errors raised by the MACEDON DSL front end."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class MacError(Exception):
+    """Base class for all mac-file processing errors."""
+
+    def __init__(self, message: str, *, filename: Optional[str] = None,
+                 line: Optional[int] = None) -> None:
+        self.filename = filename
+        self.line = line
+        location = ""
+        if filename is not None:
+            location = f"{filename}:"
+        if line is not None:
+            location = f"{location}{line}:"
+        if location:
+            message = f"{location} {message}"
+        super().__init__(message)
+
+
+class MacSyntaxError(MacError):
+    """The specification text does not follow the MACEDON grammar."""
+
+
+class MacValidationError(MacError):
+    """The specification parses but is semantically inconsistent."""
+
+
+class CodegenError(MacError):
+    """The code generator could not translate a (valid) specification."""

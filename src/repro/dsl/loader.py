@@ -1,0 +1,28 @@
+"""Convenience helpers for loading mac specifications from disk."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from .ast import ProtocolSpec
+from .parser import parse_mac
+from .validator import validate
+
+
+def load_spec(path: Union[str, Path], *, validate_spec: bool = True) -> ProtocolSpec:
+    """Parse (and by default validate) the mac file at *path*."""
+    path = Path(path)
+    spec = parse_mac(path.read_text(encoding="utf-8"), filename=str(path))
+    if validate_spec:
+        validate(spec)
+    return spec
+
+
+def load_spec_text(text: str, *, filename: str = "<string>",
+                   validate_spec: bool = True) -> ProtocolSpec:
+    """Parse (and by default validate) mac source given as a string."""
+    spec = parse_mac(text, filename=filename)
+    if validate_spec:
+        validate(spec)
+    return spec

@@ -1,0 +1,39 @@
+"""Evaluation framework: metrics, experiment harness, and LOC accounting."""
+
+from .experiment import ExperimentConfig, OverlayExperiment
+from .loc import expansion_factor, generated_loc, spec_loc
+from .metrics import (
+    StretchSample,
+    average_correct_route_entries,
+    chord_correct_entry_count,
+    correct_chord_fingers,
+    group_by_site,
+    link_stress,
+    mean,
+    multicast_tree_depths,
+    percentile,
+    relative_delay_penalty,
+    stretch_samples,
+)
+from .reports import format_series, format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "OverlayExperiment",
+    "expansion_factor",
+    "generated_loc",
+    "spec_loc",
+    "StretchSample",
+    "average_correct_route_entries",
+    "chord_correct_entry_count",
+    "correct_chord_fingers",
+    "group_by_site",
+    "link_stress",
+    "mean",
+    "multicast_tree_depths",
+    "percentile",
+    "relative_delay_penalty",
+    "stretch_samples",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,153 @@
+"""The overlay experiment harness.
+
+An :class:`OverlayExperiment` is the reproduction's equivalent of one
+ModelNet run: a topology, an emulator, N overlay nodes all running the same
+protocol stack, a bootstrap, and convenience methods for the measurement
+patterns the paper's evaluation uses (multicast latency probes, routing-table
+snapshots over time, streaming bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Type
+
+from ..network.emulator import NetworkEmulator
+from ..network.topology import Topology, transit_stub_topology
+from ..runtime.agent import Agent
+from ..runtime.engine import Simulator
+from ..runtime.node import MacedonNode
+from ..runtime.tracing import Tracer
+from ..apps.payload import AppPayload
+
+
+@dataclass
+class ExperimentConfig:
+    """Parameters of one overlay experiment."""
+
+    num_nodes: int
+    seed: int = 0
+    topology: Optional[Topology] = None
+    random_loss_rate: float = 0.0
+    strict_locking: bool = True
+    #: Seconds of simulated time allowed for overlay construction/convergence.
+    convergence_time: float = 120.0
+
+
+class OverlayExperiment:
+    """One emulated deployment of a protocol stack across many nodes."""
+
+    def __init__(self, agent_classes: Sequence[Type[Agent]],
+                 config: ExperimentConfig) -> None:
+        if config.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        self.config = config
+        self.agent_classes = list(agent_classes)
+        self.simulator = Simulator(seed=config.seed)
+        self.topology = config.topology or transit_stub_topology(
+            config.num_nodes, seed=config.seed)
+        self.emulator = NetworkEmulator(self.simulator, self.topology,
+                                        random_loss_rate=config.random_loss_rate)
+        self.tracer = Tracer()
+        self.nodes: list[MacedonNode] = [
+            MacedonNode(self.simulator, self.emulator, self.agent_classes,
+                        tracer=self.tracer, strict_locking=config.strict_locking)
+            for _ in range(config.num_nodes)
+        ]
+        self.bootstrap = self.nodes[0]
+        self._by_address = {node.address: node for node in self.nodes}
+
+    # ----------------------------------------------------------------- plumbing
+    def node(self, address: int) -> MacedonNode:
+        return self._by_address[address]
+
+    @property
+    def lowest_protocol(self) -> str:
+        return self.agent_classes[0].PROTOCOL
+
+    @property
+    def highest_protocol(self) -> str:
+        return self.agent_classes[-1].PROTOCOL
+
+    def init_all(self, *, staggered: float = 0.0) -> None:
+        """Call ``macedon_init`` on every node (optionally staggering joins)."""
+        for index, node in enumerate(self.nodes):
+            if staggered > 0 and index > 0:
+                self.simulator.schedule(index * staggered, node.macedon_init,
+                                        self.bootstrap.address)
+            else:
+                node.macedon_init(self.bootstrap.address)
+
+    def run(self, duration: float) -> float:
+        """Advance the simulation by *duration* seconds."""
+        return self.simulator.run(until=self.simulator.now + duration)
+
+    def converge(self) -> float:
+        """Run for the configured convergence period."""
+        return self.run(self.config.convergence_time)
+
+    def states(self) -> dict[str, int]:
+        """FSM-state histogram of the lowest-layer agents (a health check)."""
+        histogram: dict[str, int] = {}
+        for node in self.nodes:
+            state = node.lowest_agent.state
+            histogram[state] = histogram.get(state, 0) + 1
+        return histogram
+
+    # -------------------------------------------------------------- measurement
+    def multicast_latency_probe(self, source: MacedonNode, group: int,
+                                *, packets: int = 5, packet_bytes: int = 1000,
+                                gap: float = 0.5,
+                                settle: float = 20.0) -> dict[int, float]:
+        """Send a short multicast burst and measure per-receiver average latency.
+
+        Returns {receiver address: mean overlay latency in seconds} over the
+        packets that receiver actually received.  Used by the NICE stretch and
+        latency figures.
+        """
+        latencies: dict[int, list[float]] = {}
+        for node in self.nodes:
+            if node is source:
+                continue
+            node.macedon_register_handlers(
+                deliver=self._latency_recorder(node.address, latencies))
+        for index in range(packets):
+            payload = AppPayload(seqno=index, sent_at=0.0, source=source.address,
+                                 size=packet_bytes)
+            self.simulator.schedule(index * gap, self._send_probe, source, group,
+                                    payload, packet_bytes)
+        self.run(packets * gap + settle)
+        return {address: sum(values) / len(values)
+                for address, values in latencies.items() if values}
+
+    def _send_probe(self, source: MacedonNode, group: int, payload: AppPayload,
+                    packet_bytes: int) -> None:
+        stamped = AppPayload(seqno=payload.seqno, sent_at=self.simulator.now,
+                             source=payload.source, size=payload.size,
+                             stream_id=payload.stream_id)
+        source.macedon_multicast(group, stamped, packet_bytes)
+
+    def _latency_recorder(self, address: int,
+                          sink: dict[int, list[float]]) -> Callable:
+        def _deliver(payload, size, mtype) -> None:
+            if isinstance(payload, AppPayload):
+                sink.setdefault(address, []).append(self.simulator.now - payload.sent_at)
+        return _deliver
+
+    def sample_over_time(self, sample: Callable[[], float], *, interval: float,
+                         duration: float) -> list[tuple[float, float]]:
+        """Evaluate ``sample()`` every *interval* seconds for *duration* seconds.
+
+        Used for the Figure-10 convergence curves (routing-table snapshots
+        every two seconds while nodes join).
+        """
+        results: list[tuple[float, float]] = []
+        start = self.simulator.now
+        elapsed = 0.0
+        while elapsed <= duration:
+            results.append((elapsed, sample()))
+            if elapsed >= duration:
+                break
+            self.run(interval)
+            elapsed = self.simulator.now - start
+        return results

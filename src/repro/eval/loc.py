@@ -1,0 +1,29 @@
+"""Lines-of-code accounting for mac specifications (Figure 7)."""
+
+from __future__ import annotations
+
+from ..codegen.registry import ProtocolRegistry, get_registry
+
+
+def spec_loc(registry: ProtocolRegistry | None = None) -> dict[str, int]:
+    """Non-blank, non-comment lines of every bundled specification."""
+    registry = registry or get_registry()
+    return registry.lines_of_code()
+
+
+def generated_loc(registry: ProtocolRegistry | None = None) -> dict[str, int]:
+    """Lines of generated Python per protocol (the paper's 'generated C++' count)."""
+    registry = registry or get_registry()
+    out: dict[str, int] = {}
+    for name in registry.available():
+        source = registry.generated_source(name)
+        out[name] = sum(1 for line in source.splitlines() if line.strip())
+    return out
+
+
+def expansion_factor(registry: ProtocolRegistry | None = None) -> dict[str, float]:
+    """Generated-to-specification size ratio per protocol."""
+    registry = registry or get_registry()
+    spec = spec_loc(registry)
+    generated = generated_loc(registry)
+    return {name: generated[name] / spec[name] for name in spec if spec[name]}

@@ -1,0 +1,183 @@
+"""Overlay evaluation metrics.
+
+MACEDON's evaluation framework extracts global topology and routing
+information from the emulation substrate to compute metrics that individual
+nodes cannot measure themselves: latency stretch, relative delay penalty
+(RDP), link stress, and routing-table convergence.  The functions here take
+the emulator (global knowledge) plus application-level observations and return
+the quantities the paper's figures report.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..network.emulator import NetworkEmulator
+from ..runtime.keys import KeySpace
+from ..runtime.node import MacedonNode
+
+
+# ------------------------------------------------------------------ stretch/RDP
+@dataclass(frozen=True)
+class StretchSample:
+    """Stretch of one delivered packet: overlay latency over direct IP latency."""
+
+    receiver: int
+    overlay_latency: float
+    direct_latency: float
+
+    @property
+    def stretch(self) -> float:
+        if self.direct_latency <= 0:
+            return 1.0
+        return self.overlay_latency / self.direct_latency
+
+
+def stretch_samples(emulator: NetworkEmulator, source: int,
+                    overlay_latencies: dict[int, float]) -> list[StretchSample]:
+    """Stretch per receiver given measured overlay latencies from *source*.
+
+    ``overlay_latencies`` maps receiver host address to the measured overlay
+    end-to-end latency (seconds); the direct latency comes from the emulator's
+    global routing information — exactly what the paper extracts from
+    ModelNet.
+    """
+    samples = []
+    for receiver, overlay in overlay_latencies.items():
+        if receiver == source:
+            continue
+        direct = emulator.ip_latency(source, receiver)
+        samples.append(StretchSample(receiver=receiver, overlay_latency=overlay,
+                                     direct_latency=direct))
+    return samples
+
+
+def relative_delay_penalty(samples: Iterable[StretchSample]) -> float:
+    """Mean stretch across receivers (a common definition of RDP)."""
+    samples = list(samples)
+    if not samples:
+        return 0.0
+    return sum(sample.stretch for sample in samples) / len(samples)
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Simple nearest-rank percentile (fraction in [0, 1])."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[index]
+
+
+def group_by_site(values: dict[int, float],
+                  site_of: dict[int, int]) -> dict[int, list[float]]:
+    """Bucket per-receiver values by site index (Figures 8 and 9 are per-site)."""
+    buckets: dict[int, list[float]] = {}
+    for receiver, value in values.items():
+        site = site_of.get(receiver)
+        if site is None:
+            continue
+        buckets.setdefault(site, []).append(value)
+    return buckets
+
+
+# -------------------------------------------------------------------- link stress
+def link_stress(emulator: NetworkEmulator) -> dict[str, float]:
+    """Link-stress summary: how many times application payloads re-crossed links.
+
+    Uses the per-link payload counters the emulator collects (tagged
+    application packets).  Returns max and mean stress over links that carried
+    at least one tagged payload.
+    """
+    stresses = []
+    for stats in emulator.link_stats().values():
+        stress = stats.max_stress
+        if stress > 0:
+            stresses.append(stress)
+    if not stresses:
+        return {"max": 0.0, "mean": 0.0, "links": 0}
+    return {"max": float(max(stresses)), "mean": mean([float(s) for s in stresses]),
+            "links": len(stresses)}
+
+
+# -------------------------------------------------------- Chord convergence (Fig 10)
+def correct_chord_fingers(my_key: int, membership_keys: Sequence[tuple[int, int]],
+                          *, num_fingers: int = 32,
+                          key_space: Optional[KeySpace] = None) -> dict[int, tuple[int, int]]:
+    """The globally correct finger table for a node, given full membership.
+
+    ``membership_keys`` is a list of (key, addr) for every node in the ring.
+    Correct finger *i* is the first node whose key is ≥ my_key + 2**i (mod
+    2**bits) — the same calculation the paper performs with global knowledge
+    of all joining nodes.
+    """
+    key_space = key_space or KeySpace()
+    ordered = sorted(set(membership_keys))
+    keys_only = [key for key, _ in ordered]
+    correct: dict[int, tuple[int, int]] = {}
+    size = key_space.size
+    for index in range(num_fingers):
+        target = (my_key + (1 << index)) % size
+        position = bisect.bisect_left(keys_only, target)
+        if position == len(keys_only):
+            position = 0
+        correct[index] = ordered[position]
+    return correct
+
+
+def chord_correct_entry_count(agent, membership_keys: Sequence[tuple[int, int]],
+                              *, num_fingers: int = 32) -> int:
+    """Number of finger-table entries of *agent* matching the correct table."""
+    correct = correct_chord_fingers(agent.my_key, membership_keys,
+                                    num_fingers=num_fingers,
+                                    key_space=agent.key_space)
+    table = agent.finger_table()
+    count = 0
+    for index, entry in table.items():
+        if correct.get(index) == tuple(entry):
+            count += 1
+    return count
+
+
+def average_correct_route_entries(nodes: Sequence[MacedonNode],
+                                  protocol: str = "chord",
+                                  *, num_fingers: int = 32) -> float:
+    """Figure 10's y-axis: per-node average number of correct route entries."""
+    membership = [(node.agent(protocol).my_key, node.address) for node in nodes]
+    total = 0
+    for node in nodes:
+        total += chord_correct_entry_count(node.agent(protocol), membership,
+                                           num_fingers=num_fingers)
+    return total / max(1, len(nodes))
+
+
+# ------------------------------------------------------------------ tree metrics
+def multicast_tree_depths(nodes: Sequence[MacedonNode], protocol: str) -> dict[int, int]:
+    """Depth of each node in a tree overlay (root depth 0); -1 if detached."""
+    parent_of = {}
+    for node in nodes:
+        agent = node.agent(protocol)
+        parent_of[node.address] = agent.parent_address()
+    depths: dict[int, int] = {}
+    for node in nodes:
+        depth = 0
+        current = node.address
+        seen = set()
+        while parent_of.get(current) is not None and current not in seen:
+            seen.add(current)
+            current = parent_of[current]
+            depth += 1
+            if depth > len(nodes):
+                depth = -1
+                break
+        depths[node.address] = depth
+    return depths

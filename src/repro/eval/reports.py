@@ -1,0 +1,40 @@
+"""Plain-text report formatting for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's figures show;
+these helpers keep that formatting consistent and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 *, title: str = "") -> str:
+    """Fixed-width table with a header row, suitable for terminal output."""
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, series: Iterable[tuple[float, float]],
+                  *, x_label: str = "x", y_label: str = "y") -> str:
+    """A two-column series (one figure curve) as text."""
+    rows = [(f"{x:.2f}", f"{y:.3f}") for x, y in series]
+    return format_table([x_label, y_label], rows, title=name)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

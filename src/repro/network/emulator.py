@@ -1,0 +1,228 @@
+"""Packet-level network emulator (the ModelNet analogue).
+
+The emulator owns the topology, the global router, and the per-link queue
+state.  Hosts register a receive callback; a packet submitted with
+:meth:`NetworkEmulator.send` is walked hop-by-hop along the shortest underlay
+path, accumulating transmission, queueing, and propagation delay at every
+link, and is delivered (or dropped) at the destination via the simulator's
+event queue.
+
+The emulator also doubles as the source of the *global knowledge* the paper's
+evaluation framework extracts from ModelNet/ns: direct IP latency between any
+two hosts, the underlay path of any overlay edge, and per-link traffic
+counters used for link-stress metrics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..runtime.engine import Simulator
+from .addressing import AddressAllocator, AddressError, HostAddress
+from .links import DirectedLink, LinkDropped
+from .packet import Packet
+from .router import Router
+from .topology import BANDWIDTH_ATTR, LATENCY_ATTR, Topology
+
+ReceiveCallback = Callable[[Packet], None]
+
+
+@dataclass
+class EmulatorStats:
+    """Aggregate counters across the whole emulated network."""
+
+    packets_sent: int = 0
+    packets_delivered: int = 0
+    packets_dropped: int = 0
+    bytes_delivered: int = 0
+
+    @property
+    def loss_rate(self) -> float:
+        if self.packets_sent == 0:
+            return 0.0
+        return self.packets_dropped / self.packets_sent
+
+
+@dataclass
+class Host:
+    """A host attached to the emulated network."""
+
+    address: HostAddress
+    receive: Optional[ReceiveCallback] = None
+    #: Per-host delivery counters, handy in tests.
+    delivered: int = 0
+    dropped: int = 0
+
+
+class NetworkEmulator:
+    """Hop-by-hop packet emulator over a :class:`Topology`."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        topology: Topology,
+        *,
+        random_loss_rate: float = 0.0,
+        max_queue_delay: float = 0.5,
+    ) -> None:
+        if not 0.0 <= random_loss_rate <= 1.0:
+            raise ValueError("random_loss_rate must be in [0, 1]")
+        self.simulator = simulator
+        self.topology = topology
+        self.router = Router(topology)
+        self.random_loss_rate = random_loss_rate
+        self._rng = simulator.fork_rng("network-emulator")
+        self._allocator = AddressAllocator()
+        self._hosts: dict[int, Host] = {}
+        self._links: dict[tuple[int, int], DirectedLink] = {}
+        self._max_queue_delay = max_queue_delay
+        self.stats = EmulatorStats()
+        self._build_links()
+
+    # ------------------------------------------------------------------ setup
+    def _build_links(self) -> None:
+        for u, v, data in self.topology.graph.edges(data=True):
+            latency = data[LATENCY_ATTR]
+            bandwidth = data[BANDWIDTH_ATTR]
+            self._links[(u, v)] = DirectedLink(
+                src=u, dst=v, latency=latency, bandwidth=bandwidth,
+                max_queue_delay=self._max_queue_delay,
+            )
+            self._links[(v, u)] = DirectedLink(
+                src=v, dst=u, latency=latency, bandwidth=bandwidth,
+                max_queue_delay=self._max_queue_delay,
+            )
+
+    def attach_host(self, topology_node: Optional[int] = None,
+                    receive: Optional[ReceiveCallback] = None) -> HostAddress:
+        """Attach a new host and return its address.
+
+        If *topology_node* is None, the next unused client attachment point is
+        used (in the order the topology generator listed them).
+        """
+        if topology_node is None:
+            used = {host.address.topology_node for host in self._hosts.values()}
+            for candidate in self.topology.clients:
+                if candidate not in used:
+                    topology_node = candidate
+                    break
+            else:
+                # All dedicated client slots taken: reuse round-robin.
+                clients = self.topology.clients
+                topology_node = clients[len(self._hosts) % len(clients)]
+        if topology_node not in self.topology.graph:
+            raise AddressError(f"attachment point {topology_node} not in topology")
+        address = self._allocator.allocate(topology_node)
+        self._hosts[address.address] = Host(address=address, receive=receive)
+        return address
+
+    def set_receive_callback(self, address: int, receive: ReceiveCallback) -> None:
+        self._host(address).receive = receive
+
+    def _host(self, address: int) -> Host:
+        try:
+            return self._hosts[address]
+        except KeyError as exc:
+            raise AddressError(f"unknown host address {address}") from exc
+
+    @property
+    def hosts(self) -> list[HostAddress]:
+        return [host.address for host in self._hosts.values()]
+
+    # ------------------------------------------------------------------ send
+    def send(self, packet: Packet, payload_tag: Optional[str] = None) -> bool:
+        """Inject *packet* into the network.
+
+        Returns ``True`` if the packet was accepted and will be delivered,
+        ``False`` if it was dropped (queue overflow or random loss).  Delivery
+        happens asynchronously via the simulator.
+        """
+        src_host = self._host(packet.src)
+        dst_host = self._host(packet.dst)
+        packet.created_at = self.simulator.now
+        self.stats.packets_sent += 1
+
+        if self.random_loss_rate and self._rng.random() < self.random_loss_rate:
+            self.stats.packets_dropped += 1
+            dst_host.dropped += 1
+            return False
+
+        path = self.router.path(src_host.address.topology_node,
+                                dst_host.address.topology_node)
+        packet.path = tuple(path)
+        total_delay = 0.0
+        now = self.simulator.now
+        for u, v in zip(path[:-1], path[1:]):
+            link = self._links[(u, v)]
+            try:
+                # Queue state is advanced at submission time; this approximates
+                # store-and-forward pipelining well enough for our metrics.
+                total_delay += link.transit_time(now + total_delay,
+                                                 packet.wire_size, payload_tag)
+            except LinkDropped:
+                self.stats.packets_dropped += 1
+                dst_host.dropped += 1
+                return False
+        packet.hops = max(0, len(path) - 1)
+        self.simulator.schedule(total_delay, self._deliver, packet,
+                                label=f"deliver:{packet.protocol}")
+        return True
+
+    def _deliver(self, packet: Packet) -> None:
+        host = self._hosts.get(packet.dst)
+        if host is None:
+            # Host detached while the packet was in flight.
+            self.stats.packets_dropped += 1
+            return
+        self.stats.packets_delivered += 1
+        self.stats.bytes_delivered += packet.size
+        host.delivered += 1
+        if host.receive is not None:
+            host.receive(packet)
+
+    # --------------------------------------------------------- global queries
+    def ip_latency(self, src: int, dst: int) -> float:
+        """One-way propagation latency between two *host addresses* (seconds)."""
+        a = self._host(src).address.topology_node
+        b = self._host(dst).address.topology_node
+        return self.router.latency(a, b)
+
+    def ip_path(self, src: int, dst: int) -> list[int]:
+        """Underlay router path between two host addresses."""
+        a = self._host(src).address.topology_node
+        b = self._host(dst).address.topology_node
+        return self.router.path(a, b)
+
+    def bottleneck_bandwidth(self, src: int, dst: int) -> float:
+        a = self._host(src).address.topology_node
+        b = self._host(dst).address.topology_node
+        return self.router.bottleneck_bandwidth(a, b)
+
+    def link_stats(self) -> dict[tuple[int, int], "LinkStatsView"]:
+        """Per-directed-link traffic counters (for link-stress metrics)."""
+        return {key: LinkStatsView(link) for key, link in self._links.items()}
+
+
+class LinkStatsView:
+    """Read-only view over one link's counters."""
+
+    def __init__(self, link: DirectedLink) -> None:
+        self._link = link
+
+    @property
+    def packets(self) -> int:
+        return self._link.stats.packets
+
+    @property
+    def bytes(self) -> int:
+        return self._link.stats.bytes
+
+    @property
+    def drops(self) -> int:
+        return self._link.stats.drops
+
+    @property
+    def max_stress(self) -> int:
+        return self._link.stats.max_stress

@@ -1,0 +1,60 @@
+"""Packets carried by the emulated network.
+
+A packet is the unit the emulator queues, delays, and drops.  The payload is
+opaque to the network layer — transports put their own segments inside — but
+the size in bytes is what drives transmission delay and queue occupancy, as in
+a hop-by-hop emulator such as ModelNet.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Fixed per-packet header overhead (IP + transport headers), in bytes.
+HEADER_BYTES = 40
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """A network-layer packet in flight between two hosts."""
+
+    src: int
+    dst: int
+    payload: Any
+    size: int
+    protocol: str = "udp"
+    created_at: float = 0.0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    hops: int = 0
+    #: Filled in by the emulator: topology path the packet followed.
+    path: Optional[tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("packet payload size cannot be negative")
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes the packet occupies on a link (payload plus headers)."""
+        return self.size + HEADER_BYTES
+
+    def copy_for_retransmit(self) -> "Packet":
+        """A fresh packet (new id, zero hops) carrying the same payload."""
+        return Packet(
+            src=self.src,
+            dst=self.dst,
+            payload=self.payload,
+            size=self.size,
+            protocol=self.protocol,
+            created_at=self.created_at,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(#{self.packet_id} {self.src}->{self.dst} proto={self.protocol} "
+            f"size={self.size})"
+        )

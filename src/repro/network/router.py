@@ -1,0 +1,90 @@
+"""Global IP routing over the emulated topology.
+
+The emulator routes every packet along the latency-weighted shortest path
+between the source and destination attachment routers, the same policy a
+ModelNet core applies.  Routes are computed lazily (single-source Dijkstra per
+distinct source router) and cached, which keeps large topologies affordable.
+
+The router is also the component the evaluation framework queries for *global*
+information — direct IP latency between any two hosts and the underlay path a
+packet takes — which the paper highlights as necessary for metrics such as
+latency stretch, relative delay penalty, and link stress.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+import networkx as nx
+
+from .topology import BANDWIDTH_ATTR, LATENCY_ATTR, Topology
+
+
+class RoutingError(RuntimeError):
+    """Raised when no route exists between two attachment points."""
+
+
+class Router:
+    """Latency-weighted shortest-path routing with per-source caching."""
+
+    def __init__(self, topology: Topology) -> None:
+        self._topology = topology
+        self._graph = topology.graph
+        # Cache of single-source Dijkstra results: source -> (dist, paths).
+        self._sssp_cache: dict[int, tuple[dict[int, float], dict[int, list[int]]]] = {}
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    # ----------------------------------------------------------------- paths
+    def _sssp(self, source: int) -> tuple[dict[int, float], dict[int, list[int]]]:
+        cached = self._sssp_cache.get(source)
+        if cached is None:
+            dist, paths = nx.single_source_dijkstra(
+                self._graph, source, weight=LATENCY_ATTR
+            )
+            cached = (dist, paths)
+            self._sssp_cache[source] = cached
+        return cached
+
+    def path(self, src_node: int, dst_node: int) -> list[int]:
+        """Topology path (list of router ids) from *src_node* to *dst_node*."""
+        if src_node == dst_node:
+            return [src_node]
+        dist, paths = self._sssp(src_node)
+        try:
+            return paths[dst_node]
+        except KeyError as exc:
+            raise RoutingError(f"no route from {src_node} to {dst_node}") from exc
+
+    def latency(self, src_node: int, dst_node: int) -> float:
+        """One-way propagation latency of the shortest path, in seconds."""
+        if src_node == dst_node:
+            return 0.0
+        dist, _ = self._sssp(src_node)
+        try:
+            return dist[dst_node]
+        except KeyError as exc:
+            raise RoutingError(f"no route from {src_node} to {dst_node}") from exc
+
+    def path_edges(self, src_node: int, dst_node: int) -> list[tuple[int, int]]:
+        """The directed edges traversed along the path."""
+        nodes = self.path(src_node, dst_node)
+        return list(zip(nodes[:-1], nodes[1:]))
+
+    def bottleneck_bandwidth(self, src_node: int, dst_node: int) -> float:
+        """Minimum link bandwidth along the path (bytes/second)."""
+        edges = self.path_edges(src_node, dst_node)
+        if not edges:
+            return float("inf")
+        return min(self._graph.edges[u, v][BANDWIDTH_ATTR] for u, v in edges)
+
+    def hop_count(self, src_node: int, dst_node: int) -> int:
+        """Number of links on the latency-shortest path."""
+        return max(0, len(self.path(src_node, dst_node)) - 1)
+
+    def invalidate(self) -> None:
+        """Drop cached routes (call after mutating the topology)."""
+        self._sssp_cache.clear()

@@ -1,0 +1,123 @@
+"""The bundled overlay protocol suite.
+
+Each protocol is written in the MACEDON DSL (``specs/*.mac``) and compiled to
+an :class:`~repro.runtime.agent.Agent` subclass on first use via
+:mod:`repro.codegen`.  This module provides typed accessors so user code does
+not need to deal with the registry directly::
+
+    from repro.protocols import chord_agent, scribe_stack
+
+    ChordAgent = chord_agent()
+    stack = scribe_stack()              # [PastryAgent, ScribeAgent]
+    stack = scribe_stack(base="chord")  # [ChordAgent, ScribeAgent]
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type
+
+from ..codegen.registry import get_registry
+from ..runtime.agent import Agent
+
+#: Names of all protocols shipped with the reproduction (Figure 7's x-axis).
+BUNDLED_PROTOCOLS = (
+    "ammo",
+    "bullet",
+    "chord",
+    "nice",
+    "overcast",
+    "pastry",
+    "randtree",
+    "scribe",
+    "splitstream",
+)
+
+
+def available_protocols() -> list[str]:
+    """Names of the bundled mac specifications found on disk."""
+    return get_registry().available()
+
+
+def spec_lines_of_code() -> dict[str, int]:
+    """Lines of MACEDON code per bundled specification (Figure 7)."""
+    return get_registry().lines_of_code()
+
+
+# --------------------------------------------------------------- single agents
+def randtree_agent() -> Type[Agent]:
+    return get_registry().load_protocol("randtree")
+
+
+def overcast_agent() -> Type[Agent]:
+    return get_registry().load_protocol("overcast")
+
+
+def chord_agent() -> Type[Agent]:
+    return get_registry().load_protocol("chord")
+
+
+def pastry_agent() -> Type[Agent]:
+    return get_registry().load_protocol("pastry")
+
+
+def nice_agent() -> Type[Agent]:
+    return get_registry().load_protocol("nice")
+
+
+def ammo_agent() -> Type[Agent]:
+    return get_registry().load_protocol("ammo")
+
+
+def scribe_agent(base: Optional[str] = None) -> Type[Agent]:
+    return get_registry().load_protocol("scribe", base=base)
+
+
+def splitstream_agent(base: Optional[str] = None) -> Type[Agent]:
+    return get_registry().load_protocol("splitstream", base=base)
+
+
+def bullet_agent(base: Optional[str] = None) -> Type[Agent]:
+    return get_registry().load_protocol("bullet", base=base)
+
+
+# ---------------------------------------------------------------------- stacks
+def scribe_stack(base: str = "pastry") -> list[Type[Agent]]:
+    """Scribe layered over *base* (``pastry`` by default, ``chord`` to switch)."""
+    return get_registry().load_stack("scribe", base_overrides={"scribe": base})
+
+
+def splitstream_stack(base: str = "pastry") -> list[Type[Agent]]:
+    """SplitStream over Scribe over *base*."""
+    return get_registry().load_stack("splitstream",
+                                     base_overrides={"scribe": base})
+
+
+def bullet_stack() -> list[Type[Agent]]:
+    """Bullet over RandTree."""
+    return get_registry().load_stack("bullet")
+
+
+def protocol_stack(name: str,
+                   base_overrides: Optional[dict[str, str]] = None) -> list[Type[Agent]]:
+    """Generic accessor: resolve any bundled protocol's full stack."""
+    return get_registry().load_stack(name, base_overrides)
+
+
+__all__ = [
+    "BUNDLED_PROTOCOLS",
+    "available_protocols",
+    "spec_lines_of_code",
+    "randtree_agent",
+    "overcast_agent",
+    "chord_agent",
+    "pastry_agent",
+    "nice_agent",
+    "ammo_agent",
+    "scribe_agent",
+    "splitstream_agent",
+    "bullet_agent",
+    "scribe_stack",
+    "splitstream_stack",
+    "bullet_stack",
+    "protocol_stack",
+]

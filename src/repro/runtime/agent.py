@@ -1,0 +1,616 @@
+"""The MACEDON agent: the runtime object generated protocol code runs inside.
+
+A *mac* specification compiles (via :mod:`repro.codegen`) into a subclass of
+:class:`Agent`.  The subclass carries the protocol's declarations as class
+attributes (states, neighbor types, messages, transports, state variables,
+timers, transitions) and one method per transition.  Everything else — event
+dispatch, FSM state scoping, read/write locking, neighbor management, the
+timer subsystem, message transmission, layering upcalls/downcalls, tracing,
+failure-detection hooks — lives here and is shared by every protocol, which is
+exactly the paper's argument for fairness: protocols differ only in their
+specifications, never in their runtime machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Callable, Optional, Sequence
+
+from .keys import KeySpace
+from .locks import InstanceLock
+from .messages import Message, MessageCatalog, MessageType, WrappedMessage
+from .neighbors import NeighborSet, NeighborType
+from .stateexpr import StateExpr, parse_state_expr
+from .timers import TimerSpec, TimerTable
+from .tracing import TraceLevel
+
+#: Neighbor-type constants used by the notify() upcall, as in the paper's sample.
+NBR_TYPE_PARENT = 1
+NBR_TYPE_CHILDREN = 2
+NBR_TYPE_SIBLINGS = 3
+NBR_TYPE_PEERS = 4
+
+#: API transition names accepted by the grammar.
+API_NAMES = (
+    "init", "route", "routeIP", "multicast", "anycast", "collect",
+    "create_group", "join", "leave", "notify", "error",
+    "upcall_ext", "downcall_ext",
+)
+
+
+class AgentError(RuntimeError):
+    """Raised for protocol-level misuse detected by the runtime."""
+
+
+# --------------------------------------------------------------------------- specs
+@dataclass(frozen=True)
+class TransitionSpec:
+    """One transition declaration: (state expression, event) -> method."""
+
+    kind: str                 # "api" | "timer" | "recv" | "forward"
+    name: str                 # API name, timer name, or message name
+    state_expr: str           # textual state expression, e.g. "!(joining|init)"
+    method: str               # name of the generated method on the agent class
+    locking: str = "write"    # "read" or "write"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("api", "timer", "recv", "forward"):
+            raise ValueError(f"unknown transition kind {self.kind!r}")
+        if self.locking not in ("read", "write"):
+            raise ValueError(f"unknown locking mode {self.locking!r}")
+        if self.kind == "api" and self.name not in API_NAMES:
+            raise ValueError(f"unknown API transition name {self.name!r}")
+
+
+@dataclass(frozen=True)
+class StateVarSpec:
+    """One state-variable declaration.
+
+    ``kind`` is one of:
+
+    * ``"var"`` — a plain scalar of ``type_name`` (int, double, bool, key,
+      ipaddr, string) with an optional default;
+    * ``"neighbor_set"`` — an instance of the declared neighbor type
+      ``type_name``, optionally ``fail_detect``;
+    * ``"timer"`` — a timer with optional default ``period``;
+    * ``"map"`` / ``"list"`` / ``"set"`` — container state for protocol
+      bookkeeping (Scribe group tables, Bullet summaries, …).
+    """
+
+    name: str
+    kind: str
+    type_name: str = ""
+    default: Any = None
+    fail_detect: bool = False
+    period: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("var", "neighbor_set", "timer", "map", "list", "set"):
+            raise ValueError(f"unknown state variable kind {self.kind!r}")
+
+
+_SCALAR_DEFAULTS = {
+    "int": 0, "long": 0, "double": 0.0, "float": 0.0, "bool": False,
+    "key": 0, "ipaddr": 0, "string": "",
+}
+
+
+# ----------------------------------------------------------------------- context
+class TransitionContext:
+    """Everything a transition may read about the event that triggered it.
+
+    The code generator rewrites context names appearing in transition bodies
+    (``source``, ``msg``, ``dest_key``, ``payload`` …) into attribute accesses
+    on this object.
+    """
+
+    def __init__(self, **kwargs: Any) -> None:
+        self.api: Optional[str] = None
+        self.source: Optional[int] = None
+        self.source_key: Optional[int] = None
+        self.msg: Optional[Message] = None
+        self.dest: Optional[int] = None
+        self.dest_key: Optional[int] = None
+        self.group: Optional[int] = None
+        self.payload: Any = None
+        self.payload_size: int = 0
+        self.priority: int = -1
+        self.bootstrap: Optional[int] = None
+        self.next_hop: Optional[int] = None
+        self.next_hop_key: Optional[int] = None
+        self.quash: bool = False
+        self.error_addr: Optional[int] = None
+        self.neighbors: Optional[list[int]] = None
+        self.nbr_type: Optional[int] = None
+        self.op: Optional[Any] = None
+        self.arg: Any = None
+        self.timer_name: Optional[str] = None
+        self.result: Any = None
+        for key, value in kwargs.items():
+            setattr(self, key, value)
+
+    def field(self, name: str) -> Any:
+        """The paper's ``field()`` accessor on the triggering message."""
+        if self.msg is None:
+            raise AgentError("field() used in a transition with no message")
+        return self.msg.field(name)
+
+
+# ------------------------------------------------------------------------- agent
+class Agent:
+    """Base class of all generated protocol agents (and hand-written ones)."""
+
+    # ---- class attributes overridden by generated subclasses -----------------
+    PROTOCOL: str = "agent"
+    BASE_PROTOCOL: Optional[str] = None
+    ADDRESSING: str = "ip"                    # "ip" or "hash"
+    TRACE: TraceLevel = TraceLevel.OFF
+    CONSTANTS: dict[str, Any] = {}
+    STATES: tuple[str, ...] = ()
+    NEIGHBOR_TYPES: dict[str, NeighborType] = {}
+    TRANSPORT_DECLS: tuple[tuple[str, str], ...] = ()   # (kind, name) pairs
+    MESSAGE_TYPES: tuple[MessageType, ...] = ()
+    STATE_VARS: tuple[StateVarSpec, ...] = ()
+    TRANSITIONS: tuple[TransitionSpec, ...] = ()
+    KEY_SPACE: KeySpace = KeySpace()
+
+    def __init__(self, node: "MacedonNode") -> None:  # noqa: F821 (forward ref)
+        # Bypass the state-variable write guard during construction.
+        object.__setattr__(self, "_constructed", False)
+        self.node = node
+        self.simulator = node.simulator
+        self.my_addr: int = node.address
+        self.key_space = self.KEY_SPACE
+        self.my_key: int = self.key_space.hash(self.my_addr)
+        self.lock = InstanceLock(strict=node.strict_locking)
+        self.lower: Optional[Agent] = None
+        self.upper: Optional[Agent] = None
+        self.bootstrap_addr: Optional[int] = None
+        self.bootstrap_key: Optional[int] = None
+        self._state = "init"
+        self._rng = node.simulator.fork_rng(f"{self.PROTOCOL}:{node.address}")
+        self._catalog = MessageCatalog(list(self.MESSAGE_TYPES))
+        self._timers = TimerTable(node.simulator, self._on_timer_expired)
+        self._state_var_names: set[str] = set()
+        self._fail_detect_sets: list[NeighborSet] = []
+        self._compiled_transitions: list[tuple[TransitionSpec, StateExpr]] = []
+        self._group_members: dict[int, set[int]] = {}
+        self.initialized = False
+
+        for name, value in self.CONSTANTS.items():
+            setattr(self, name, value)
+        self._init_state_vars()
+        self._compile_transitions()
+        object.__setattr__(self, "_constructed", True)
+
+    # ------------------------------------------------------------------- setup
+    def _init_state_vars(self) -> None:
+        for spec in self.STATE_VARS:
+            if spec.kind == "neighbor_set":
+                neighbor_type = self.NEIGHBOR_TYPES.get(spec.type_name)
+                if neighbor_type is None:
+                    raise AgentError(
+                        f"{self.PROTOCOL}: state variable {spec.name!r} uses "
+                        f"undeclared neighbor type {spec.type_name!r}"
+                    )
+                value: Any = NeighborSet(spec.name, neighbor_type,
+                                         fail_detect=spec.fail_detect,
+                                         rng=self._rng)
+                if spec.fail_detect:
+                    self._fail_detect_sets.append(value)
+                    value.add_observer(self._on_fail_detect_change)
+            elif spec.kind == "timer":
+                value = self._timers.declare(TimerSpec(spec.name, spec.period))
+            elif spec.kind == "map":
+                value = dict(spec.default) if spec.default else {}
+            elif spec.kind == "list":
+                value = list(spec.default) if spec.default else []
+            elif spec.kind == "set":
+                value = set(spec.default) if spec.default else set()
+            else:
+                default = spec.default
+                if default is None:
+                    default = _SCALAR_DEFAULTS.get(spec.type_name, None)
+                value = default
+            object.__setattr__(self, spec.name, value)
+            if spec.kind in ("var",):
+                self._state_var_names.add(spec.name)
+
+    def _compile_transitions(self) -> None:
+        for spec in self.TRANSITIONS:
+            expr = parse_state_expr(spec.state_expr, self.STATES)
+            if not hasattr(self, spec.method):
+                raise AgentError(
+                    f"{self.PROTOCOL}: transition references missing method {spec.method!r}"
+                )
+            self._compiled_transitions.append((spec, expr))
+
+    # ----------------------------------------------------- write-lock guarding
+    def __setattr__(self, name: str, value: Any) -> None:
+        if getattr(self, "_constructed", False) and name in self._state_var_names:
+            self.lock.assert_writable(f"assignment to state variable {name!r}")
+        object.__setattr__(self, name, value)
+
+    # ---------------------------------------------------------------- identity
+    @property
+    def protocol_name(self) -> str:
+        return self.PROTOCOL
+
+    @property
+    def state(self) -> str:
+        """Current FSM state."""
+        return self._state
+
+    @property
+    def is_bootstrap(self) -> bool:
+        return self.bootstrap_addr is not None and self.bootstrap_addr == self.my_addr
+
+    def now(self) -> float:
+        return self.simulator.now
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def random_int(self, upper: int) -> int:
+        """Uniform integer in [0, upper)."""
+        if upper <= 0:
+            return 0
+        return self._rng.randrange(upper)
+
+    def hash_of(self, value: Any) -> int:
+        """Hash an identifier into the protocol's key space."""
+        return self.key_space.hash(value)
+
+    # ------------------------------------------------------------------ events
+    def api_call(self, name: str, ctx: Optional[TransitionContext] = None) -> Any:
+        """Invoke an API transition on this agent (from the app or an upper layer)."""
+        ctx = ctx or TransitionContext()
+        ctx.api = name
+        if name == "init":
+            self.bootstrap_addr = ctx.bootstrap
+            if ctx.bootstrap is not None:
+                self.bootstrap_key = self.key_space.hash(ctx.bootstrap)
+            self.initialized = True
+        handled = self._dispatch("api", name, ctx)
+        if not handled:
+            return self._default_api(name, ctx)
+        return ctx.result
+
+    def _default_api(self, name: str, ctx: TransitionContext) -> Any:
+        """Behaviour when a protocol declares no transition for an API call.
+
+        Data-path and group calls fall through to the layer below (so an
+        application talking to Scribe can still ``route`` through Pastry);
+        everything else is a silent no-op, matching the generated C++ stubs.
+        """
+        passthrough = {"route", "routeIP", "multicast", "anycast", "collect",
+                       "create_group", "join", "leave", "downcall_ext"}
+        if name in passthrough and self.lower is not None:
+            return self.lower.api_call(name, ctx)
+        return None
+
+    def _on_timer_expired(self, timer_name: str) -> None:
+        ctx = TransitionContext(timer_name=timer_name)
+        self._dispatch("timer", timer_name, ctx)
+
+    def receive_message(self, message: Message, direction: str = "recv") -> bool:
+        """Dispatch a received (or to-be-forwarded) protocol message."""
+        ctx = TransitionContext(msg=message, source=message.source,
+                                payload=message.payload,
+                                payload_size=message.payload_size)
+        if message.source is not None:
+            ctx.source_key = self.key_space.hash(message.source)
+        return self._dispatch(direction, message.name, ctx)
+
+    def _dispatch(self, kind: str, name: str, ctx: TransitionContext) -> bool:
+        """Find and execute the transition for (kind, name, current state)."""
+        for spec, expr in self._compiled_transitions:
+            if spec.kind != kind or spec.name != name:
+                continue
+            if not expr.matches(self._state):
+                continue
+            self.trace("transition", f"{kind}:{name}", state=self._state,
+                       locking=spec.locking)
+            method = getattr(self, spec.method)
+            with self.lock.acquire(spec.locking):
+                method(ctx)
+            return True
+        return False
+
+    def has_transition(self, kind: str, name: str) -> bool:
+        return any(spec.kind == kind and spec.name == name
+                   for spec, _ in self._compiled_transitions)
+
+    # ------------------------------------------------------------- primitives
+    # These are the library routines transition bodies call (after the code
+    # generator prefixes them with ``self.``).
+
+    def state_change(self, new_state: str) -> None:
+        """Move the FSM to *new_state* (a control action: requires write lock)."""
+        if new_state not in self.STATES and new_state != "init":
+            raise AgentError(f"{self.PROTOCOL}: unknown state {new_state!r}")
+        self.lock.assert_writable("state_change")
+        old = self._state
+        object.__setattr__(self, "_state", new_state)
+        self.trace("state_change", f"{old}->{new_state}")
+
+    # -- neighbor management ---------------------------------------------------
+    def neighbor_add(self, neighbor_set: NeighborSet, address: int,
+                     key: Optional[int] = None, **fields: Any):
+        self.lock.assert_writable("neighbor_add")
+        if key is None and self.ADDRESSING == "hash":
+            key = self.key_space.hash(address)
+        entry = neighbor_set.add(address, key=key, **fields)
+        self.trace("neighbor", f"add {address} to {neighbor_set.name}")
+        return entry
+
+    def neighbor_remove(self, neighbor_set: NeighborSet, address: int):
+        self.lock.assert_writable("neighbor_remove")
+        entry = neighbor_set.remove(address)
+        self.trace("neighbor", f"remove {address} from {neighbor_set.name}")
+        return entry
+
+    def neighbor_clear(self, neighbor_set: NeighborSet) -> None:
+        self.lock.assert_writable("neighbor_clear")
+        neighbor_set.clear()
+
+    @staticmethod
+    def neighbor_size(neighbor_set: NeighborSet) -> int:
+        return neighbor_set.size()
+
+    @staticmethod
+    def neighbor_query(neighbor_set: NeighborSet, address: int) -> bool:
+        return neighbor_set.query(address)
+
+    @staticmethod
+    def neighbor_entry(neighbor_set: NeighborSet, address: int):
+        return neighbor_set.entry(address)
+
+    @staticmethod
+    def neighbor_random(neighbor_set: NeighborSet):
+        return neighbor_set.random()
+
+    @staticmethod
+    def neighbor_addresses(neighbor_set: NeighborSet) -> list[int]:
+        return neighbor_set.addresses()
+
+    def _on_fail_detect_change(self, neighbor_set: NeighborSet, action: str,
+                               address: int) -> None:
+        if action == "add":
+            self.node.failure_detector.monitor(address)
+        elif action == "remove":
+            self.node.failure_detector.unmonitor(address)
+
+    # -- timers ------------------------------------------------------------------
+    def timer_sched(self, timer, delay: Optional[float] = None) -> None:
+        timer = self._resolve_timer(timer)
+        timer.schedule(delay)
+        self.trace("timer", f"sched {timer.name}")
+
+    def timer_resched(self, timer, delay: Optional[float] = None) -> None:
+        timer = self._resolve_timer(timer)
+        timer.reschedule(delay)
+        self.trace("timer", f"resched {timer.name}")
+
+    def timer_cancel(self, timer) -> None:
+        timer = self._resolve_timer(timer)
+        timer.cancel()
+        self.trace("timer", f"cancel {timer.name}")
+
+    def _resolve_timer(self, timer):
+        if isinstance(timer, str):
+            return self._timers.get(timer)
+        return timer
+
+    # -- message transmission ----------------------------------------------------
+    def send_msg(self, name: str, dest: int, *, priority: int = -1,
+                 payload: Any = None, payload_size: int = 0,
+                 tag: Optional[str] = None, **fields: Any) -> None:
+        """Transmit one of this protocol's declared messages directly to *dest*.
+
+        Only meaningful on the lowest layer of a stack (the layer that owns
+        transports); layered protocols use :meth:`route_msg` /
+        :meth:`routeip_msg` instead.
+        """
+        message_type = self._catalog.get(name)
+        message = Message(type=message_type, fields=fields, payload=payload,
+                          payload_size=payload_size, priority=priority,
+                          dest=int(dest), protocol=self.PROTOCOL)
+        message.source = self.my_addr
+        transport_name = self._select_transport(message_type, priority)
+        payload_tag = tag
+        if payload_tag is None and payload is not None:
+            payload_tag = getattr(payload, "tag", None)
+        self.trace("message_send", name, dest=int(dest), size=message.size)
+        self.node.send_wire_message(transport_name, int(dest), message, payload_tag)
+
+    def _select_transport(self, message_type: MessageType, priority: int) -> str:
+        declared = [name for _, name in self.TRANSPORT_DECLS]
+        if priority is not None and priority >= 0 and declared:
+            return declared[min(priority, len(declared) - 1)]
+        if message_type.transport:
+            return message_type.transport
+        if declared:
+            return declared[0]
+        return self.node.transport_host.DEFAULT_TRANSPORT
+
+    def wrap_msg(self, name: str, *, payload: Any = None, payload_size: int = 0,
+                 **fields: Any) -> WrappedMessage:
+        """Wrap one of this protocol's messages for transport by a lower layer."""
+        message_type = self._catalog.get(name)
+        size = message_type.size_of(fields, payload_size)
+        return WrappedMessage(protocol=self.PROTOCOL, name=name, fields=dict(fields),
+                              payload=payload, payload_size=payload_size,
+                              source=self.my_addr, source_key=self.my_key, size=size)
+
+    def route_msg(self, name: str, dest_key: int, *, priority: int = -1,
+                  payload: Any = None, payload_size: int = 0, **fields: Any) -> None:
+        """Send one of this protocol's messages via the lower layer's ``route``."""
+        wrapped = self.wrap_msg(name, payload=payload, payload_size=payload_size,
+                                **fields)
+        self.downcall_route(dest_key, wrapped, wrapped.size, priority)
+
+    def routeip_msg(self, name: str, dest_ip: int, *, priority: int = -1,
+                    payload: Any = None, payload_size: int = 0, **fields: Any) -> None:
+        """Send one of this protocol's messages via the lower layer's ``routeIP``."""
+        wrapped = self.wrap_msg(name, payload=payload, payload_size=payload_size,
+                                **fields)
+        self.downcall_routeip(dest_ip, wrapped, wrapped.size, priority)
+
+    # -- downcalls (into the layer below) -----------------------------------------
+    def _require_lower(self) -> "Agent":
+        if self.lower is None:
+            raise AgentError(
+                f"{self.PROTOCOL}: downcall attempted but there is no lower layer"
+            )
+        return self.lower
+
+    def downcall_route(self, dest_key: int, payload: Any, size: int,
+                       priority: int = -1) -> Any:
+        ctx = TransitionContext(dest_key=int(dest_key), payload=payload,
+                                payload_size=size, priority=priority)
+        return self._require_lower().api_call("route", ctx)
+
+    def downcall_routeip(self, dest_ip: int, payload: Any, size: int,
+                         priority: int = -1) -> Any:
+        ctx = TransitionContext(dest=int(dest_ip), payload=payload,
+                                payload_size=size, priority=priority)
+        return self._require_lower().api_call("routeIP", ctx)
+
+    def downcall_multicast(self, group: int, payload: Any, size: int,
+                           priority: int = -1) -> Any:
+        ctx = TransitionContext(group=int(group), payload=payload,
+                                payload_size=size, priority=priority)
+        return self._require_lower().api_call("multicast", ctx)
+
+    def downcall_anycast(self, group: int, payload: Any, size: int,
+                         priority: int = -1) -> Any:
+        ctx = TransitionContext(group=int(group), payload=payload,
+                                payload_size=size, priority=priority)
+        return self._require_lower().api_call("anycast", ctx)
+
+    def downcall_collect(self, group: int, payload: Any, size: int,
+                         priority: int = -1) -> Any:
+        ctx = TransitionContext(group=int(group), payload=payload,
+                                payload_size=size, priority=priority)
+        return self._require_lower().api_call("collect", ctx)
+
+    def downcall_create_group(self, group: int) -> Any:
+        return self._require_lower().api_call(
+            "create_group", TransitionContext(group=int(group)))
+
+    def downcall_join(self, group: int) -> Any:
+        return self._require_lower().api_call("join", TransitionContext(group=int(group)))
+
+    def downcall_leave(self, group: int) -> Any:
+        return self._require_lower().api_call("leave", TransitionContext(group=int(group)))
+
+    def downcall_ext(self, op: Any, arg: Any = None) -> Any:
+        ctx = TransitionContext(op=op, arg=arg)
+        return self._require_lower().api_call("downcall_ext", ctx)
+
+    # -- upcalls (into the layer above / the application) --------------------------
+    def upcall_deliver(self, payload: Any, size: int, mtype: Any = None,
+                       source: Optional[int] = None,
+                       source_key: Optional[int] = None) -> None:
+        """Deliver *payload* to the layer above (or the application)."""
+        if self.upper is not None:
+            self.upper.handle_lower_deliver(payload, size, mtype,
+                                            source=source, source_key=source_key)
+        else:
+            self.node.app_deliver(self, payload, size, mtype)
+
+    def upcall_forward(self, payload: Any, size: int, mtype: Any,
+                       next_hop: Optional[int], next_hop_key: Optional[int],
+                       source: Optional[int] = None) -> tuple[bool, Optional[int]]:
+        """Offer a routing decision to the layer above.
+
+        Returns ``(allow, next_hop_override)``: ``allow`` is False if the upper
+        layer quashed the message; ``next_hop_override`` is a replacement
+        next-hop key if the upper layer changed the destination.
+        """
+        if self.upper is not None:
+            return self.upper.handle_lower_forward(payload, size, mtype,
+                                                   next_hop, next_hop_key,
+                                                   source=source)
+        return self.node.app_forward(self, payload, size, mtype,
+                                     next_hop, next_hop_key)
+
+    def upcall_notify(self, neighbors: Any, nbr_type: int = 0) -> None:
+        """Tell the layer above that a neighbor set changed."""
+        if isinstance(neighbors, NeighborSet):
+            addresses = neighbors.addresses()
+        elif neighbors is None:
+            addresses = []
+        else:
+            addresses = [int(address) for address in neighbors]
+        if self.upper is not None:
+            ctx = TransitionContext(neighbors=addresses, nbr_type=nbr_type)
+            handled = self.upper._dispatch("api", "notify", ctx)
+            if not handled:
+                self.upper.upcall_notify(addresses, nbr_type)
+        else:
+            self.node.app_notify(self, addresses, nbr_type)
+
+    def upcall_ext(self, op: Any, arg: Any = None) -> Any:
+        """Extensible upcall to the layer above (the generic handler)."""
+        if self.upper is not None:
+            ctx = TransitionContext(op=op, arg=arg)
+            handled = self.upper._dispatch("api", "upcall_ext", ctx)
+            if handled:
+                return ctx.result
+            return self.upper.upcall_ext(op, arg)
+        return self.node.app_upcall(self, op, arg)
+
+    # -- handling upcalls arriving from the layer below ----------------------------
+    def handle_lower_deliver(self, payload: Any, size: int, mtype: Any,
+                             source: Optional[int] = None,
+                             source_key: Optional[int] = None) -> None:
+        if isinstance(payload, WrappedMessage) and payload.protocol == self.PROTOCOL:
+            message = payload.as_message(self._catalog.get(payload.name))
+            message.source = payload.source if payload.source is not None else source
+            self.receive_message(message, direction="recv")
+            return
+        # Not ours: keep passing it up the stack.
+        self.upcall_deliver(payload, size, mtype, source=source, source_key=source_key)
+
+    def handle_lower_forward(self, payload: Any, size: int, mtype: Any,
+                             next_hop: Optional[int], next_hop_key: Optional[int],
+                             source: Optional[int] = None) -> tuple[bool, Optional[int]]:
+        if isinstance(payload, WrappedMessage) and payload.protocol == self.PROTOCOL:
+            message = payload.as_message(self._catalog.get(payload.name))
+            message.source = payload.source if payload.source is not None else source
+            ctx = TransitionContext(msg=message, source=message.source,
+                                    payload=message.payload,
+                                    payload_size=message.payload_size,
+                                    next_hop=next_hop, next_hop_key=next_hop_key)
+            handled = self._dispatch("forward", message.name, ctx)
+            if handled:
+                return (not ctx.quash, ctx.next_hop_key
+                        if ctx.next_hop_key != next_hop_key else None)
+            return (True, None)
+        return self.upcall_forward(payload, size, mtype, next_hop, next_hop_key,
+                                   source=source)
+
+    # -- error / failure ------------------------------------------------------------
+    def peer_failed(self, address: int) -> None:
+        """Invoked by the node's failure detector when a monitored peer dies."""
+        for neighbor_set in self._fail_detect_sets:
+            if neighbor_set.query(address):
+                ctx = TransitionContext(error_addr=int(address))
+                handled = self._dispatch("api", "error", ctx)
+                if not handled:
+                    # Default repair: silently drop the dead peer.
+                    with self.lock.acquire("write"):
+                        neighbor_set.remove(address)
+
+    # -- tracing ---------------------------------------------------------------------
+    def trace(self, category: str, detail: str, **data: Any) -> None:
+        self.node.tracer.record(self.TRACE, self.simulator.now, self.my_addr,
+                                self.PROTOCOL, category, detail, **data)
+
+    def debug(self, detail: str, **data: Any) -> None:
+        self.trace("debug", detail, **data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.PROTOCOL} @{self.my_addr} state={self._state}>"

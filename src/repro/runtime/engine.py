@@ -1,0 +1,223 @@
+"""Discrete-event simulation kernel.
+
+Everything in the reproduction that needs time — link transmission, timer
+expirations, protocol maintenance, application sending — is driven by a single
+:class:`Simulator` instance.  The kernel is intentionally small: a priority
+queue of events ordered by (time, sequence number), a simulated clock, and a
+deterministic random number generator so whole experiments are reproducible
+from a seed.
+
+The paper's runtime uses thread pools for the timer and transport subsystems;
+here the same event sources are multiplexed onto one deterministic event loop,
+which is what lets the evaluation scale to thousands of overlay nodes on a
+single machine (the role ModelNet plays in the paper).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry.  Ordering is by time, then insertion sequence."""
+
+    time: float
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    kwargs: dict = field(compare=False, default_factory=dict)
+    cancelled: bool = field(compare=False, default=False)
+    label: str = field(compare=False, default="")
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`Simulator.schedule`.
+
+    Allows the caller to cancel a pending event and to query whether it has
+    already fired or been cancelled.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the event is (or was) scheduled to fire."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def label(self) -> str:
+        return self._event.label
+
+    def cancel(self) -> None:
+        """Cancel the event if it has not fired yet.  Idempotent."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulation-wide random number generator.  All random
+        choices made by the network emulator, transports, and protocols should
+        derive from :attr:`rng` (or from generators forked via
+        :meth:`fork_rng`) so an experiment is fully reproducible.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now: float = 0.0
+        self._queue: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.rng = random.Random(seed)
+        self._seed = seed
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def fork_rng(self, name: str) -> random.Random:
+        """Return a new RNG deterministically derived from the seed and *name*.
+
+        Subsystems that need their own stream of randomness (e.g. one per
+        node) should fork rather than share :attr:`rng`, so adding a new
+        consumer does not perturb every other consumer's draws.
+        """
+        return random.Random(f"{self._seed}:{name}")
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> EventHandle:
+        """Schedule *callback* to run ``delay`` seconds from now.
+
+        Returns an :class:`EventHandle` that can be used to cancel the event.
+        A negative delay is an error; a zero delay schedules the callback to
+        run after all events already scheduled for the current instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event {delay} s in the past")
+        event = _ScheduledEvent(
+            time=self._now + delay,
+            seq=next(self._seq),
+            callback=callback,
+            args=args,
+            kwargs=kwargs,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self,
+        when: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> EventHandle:
+        """Schedule *callback* at absolute simulated time *when*."""
+        return self.schedule(when - self._now, callback, *args, label=label, **kwargs)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a previously scheduled event.  Idempotent."""
+        handle.cancel()
+
+    # ---------------------------------------------------------------- running
+    def pending(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Simulated time at which to stop.  Events scheduled exactly at
+            ``until`` are executed.  ``None`` runs until the queue drains.
+        max_events:
+            Safety valve: stop after this many events have been processed.
+
+        Returns
+        -------
+        float
+            The simulated time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run call)")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while self._queue and not self._stopped:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                if event.time < self._now:
+                    raise SimulationError("event queue produced an event in the past")
+                self._now = event.time
+                event.callback(*event.args, **event.kwargs)
+                self.events_processed += 1
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+            if until is not None and not self._stopped and self._now < until:
+                # Advance the clock even if the queue drained early so callers
+                # can rely on `now >= until` after a bounded run.
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Run until no events remain (bounded by *max_events*)."""
+        return self.run(until=None, max_events=max_events)
+
+    # -------------------------------------------------------------- utilities
+    def drain_labels(self) -> Iterable[str]:
+        """Labels of pending (non-cancelled) events — useful in tests."""
+        return [event.label for event in self._queue if not event.cancelled]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.6f}, pending={self.pending()}, "
+            f"processed={self.events_processed})"
+        )

@@ -1,0 +1,157 @@
+"""Hash-based addressing (``macedon_key``).
+
+The paper's API routes on a ``macedon_key`` which "is not necessarily an IP
+address (it could be a hash of an IP address or name)".  The MACEDON Chord
+implementation uses a 32-bit hash address space; we adopt the same default
+width so routing-table comparisons against the baseline implementations are
+apples-to-apples, while allowing protocols (Pastry) to request a different
+width or digit base.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+#: Default width of the hash address space, matching the paper's MACEDON Chord.
+DEFAULT_KEY_BITS = 32
+
+
+def hash_bytes(data: bytes, bits: int = DEFAULT_KEY_BITS) -> int:
+    """SHA-1 hash of *data*, truncated to *bits* bits.
+
+    The paper's library collection includes SHA hashing; protocols use it to
+    map node addresses and object names into the overlay address space.
+    """
+    if bits <= 0 or bits > 160:
+        raise ValueError(f"key width must be in (0, 160] bits, got {bits}")
+    digest = hashlib.sha1(data).digest()
+    value = int.from_bytes(digest, "big")
+    return value >> (160 - bits)
+
+
+def hash_key(value: Union[str, int, bytes], bits: int = DEFAULT_KEY_BITS) -> int:
+    """Hash an arbitrary identifier (name, IP integer, bytes) into the key space."""
+    if isinstance(value, bytes):
+        data = value
+    elif isinstance(value, int):
+        data = value.to_bytes(8, "big", signed=False)
+    else:
+        data = str(value).encode("utf-8")
+    return hash_bytes(data, bits)
+
+
+def key_space_size(bits: int = DEFAULT_KEY_BITS) -> int:
+    """Total number of identifiers in a *bits*-wide key space."""
+    return 1 << bits
+
+
+def in_interval(value: int, start: int, end: int, bits: int = DEFAULT_KEY_BITS,
+                inclusive_start: bool = False, inclusive_end: bool = False) -> bool:
+    """Whether *value* lies on the ring interval (start, end) modulo 2**bits.
+
+    Ring-interval membership is the core predicate of Chord routing; it is
+    shared by the MACEDON Chord spec and the lsd baseline so both agree on
+    correctness.
+    """
+    size = key_space_size(bits)
+    value %= size
+    start %= size
+    end %= size
+    if start == end:
+        # Whole ring, except possibly the endpoints.
+        if inclusive_start or inclusive_end:
+            return True
+        return value != start
+    if start < end:
+        after_start = value > start or (inclusive_start and value == start)
+        before_end = value < end or (inclusive_end and value == end)
+        return after_start and before_end
+    # Interval wraps around zero.
+    after_start = value > start or (inclusive_start and value == start)
+    before_end = value < end or (inclusive_end and value == end)
+    return after_start or before_end
+
+
+def ring_distance(a: int, b: int, bits: int = DEFAULT_KEY_BITS) -> int:
+    """Clockwise distance from *a* to *b* on the ring."""
+    size = key_space_size(bits)
+    return (b - a) % size
+
+
+def key_digits(key: int, base_bits: int, digits: int) -> list[int]:
+    """Split *key* into *digits* digits of *base_bits* bits each, most significant first.
+
+    Pastry routes by correcting one digit (of ``2**base_bits`` possible values)
+    per hop; this helper is shared by the MACEDON Pastry spec and the
+    FreePastry baseline.
+    """
+    mask = (1 << base_bits) - 1
+    out = []
+    for i in range(digits - 1, -1, -1):
+        out.append((key >> (i * base_bits)) & mask)
+    return out
+
+
+def shared_prefix_length(a: int, b: int, base_bits: int, digits: int) -> int:
+    """Number of leading digits shared by keys *a* and *b*."""
+    da = key_digits(a, base_bits, digits)
+    db = key_digits(b, base_bits, digits)
+    count = 0
+    for x, y in zip(da, db):
+        if x != y:
+            break
+        count += 1
+    return count
+
+
+@dataclass(frozen=True)
+class KeySpace:
+    """A configured hash address space (width + Pastry-style digit base)."""
+
+    bits: int = DEFAULT_KEY_BITS
+    digit_bits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.bits % self.digit_bits != 0:
+            raise ValueError(
+                f"key width {self.bits} is not a multiple of digit width {self.digit_bits}"
+            )
+
+    @property
+    def size(self) -> int:
+        return key_space_size(self.bits)
+
+    @property
+    def num_digits(self) -> int:
+        return self.bits // self.digit_bits
+
+    @property
+    def digit_base(self) -> int:
+        return 1 << self.digit_bits
+
+    def hash(self, value: Union[str, int, bytes]) -> int:
+        return hash_key(value, self.bits)
+
+    def distance(self, a: int, b: int) -> int:
+        return ring_distance(a, b, self.bits)
+
+    def between(self, value: int, start: int, end: int, *,
+                inclusive_start: bool = False, inclusive_end: bool = False) -> bool:
+        return in_interval(value, start, end, self.bits,
+                           inclusive_start=inclusive_start,
+                           inclusive_end=inclusive_end)
+
+    def digits(self, key: int) -> list[int]:
+        return key_digits(key, self.digit_bits, self.num_digits)
+
+    def shared_prefix(self, a: int, b: int) -> int:
+        return shared_prefix_length(a, b, self.digit_bits, self.num_digits)
+
+    def wrap(self, value: int) -> int:
+        return value % self.size
+
+    def successor_distance_order(self, origin: int, keys: Iterable[int]) -> list[int]:
+        """Sort *keys* by clockwise distance from *origin* (nearest successor first)."""
+        return sorted(keys, key=lambda k: self.distance(origin, k))

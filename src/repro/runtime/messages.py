@@ -1,0 +1,208 @@
+"""Typed protocol messages.
+
+A ``mac`` specification declares its messages, each bound to a transport
+instance (lowest layer) or service class (higher layers)::
+
+    messages {
+        BEST_EFFORT join { }
+        HIGHEST join_reply { int response; }
+    }
+
+The runtime turns each declaration into a :class:`MessageType` with typed
+fields.  Field types drive the on-the-wire size model so the emulator charges
+realistic bytes for control traffic, and the generated code accesses fields
+either as attributes (``msg.response``) or through the paper's ``field()``
+primitive.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+#: Serialized size, in bytes, of each supported field type.
+FIELD_TYPE_SIZES: dict[str, int] = {
+    "int": 4,
+    "long": 8,
+    "double": 8,
+    "float": 4,
+    "bool": 1,
+    "key": 4,
+    "ipaddr": 4,
+    "string": 16,
+    "neighbor": 8,
+}
+
+#: Fixed per-message envelope overhead (type tag, source, protocol id).
+MESSAGE_HEADER_BYTES = 16
+
+
+class MessageError(ValueError):
+    """Raised for unknown message types or malformed field access."""
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One declared field of a message type."""
+
+    name: str
+    type_name: str
+    #: For list-typed fields ("neighbor list", "int list"), the element type.
+    is_list: bool = False
+
+    def size_of(self, value: Any) -> int:
+        base = FIELD_TYPE_SIZES.get(self.type_name, 8)
+        if self.is_list:
+            try:
+                length = len(value)
+            except TypeError:
+                length = 0
+            return 4 + base * length
+        if self.type_name == "string" and isinstance(value, str):
+            return max(1, len(value.encode("utf-8")))
+        return base
+
+
+@dataclass(frozen=True)
+class MessageType:
+    """A declared message type: name, fields, and default transport binding."""
+
+    name: str
+    fields: tuple[FieldSpec, ...] = ()
+    transport: Optional[str] = None
+
+    def field_names(self) -> list[str]:
+        return [spec.name for spec in self.fields]
+
+    def validate_fields(self, values: Mapping[str, Any]) -> None:
+        declared = set(self.field_names())
+        unknown = set(values) - declared
+        if unknown:
+            raise MessageError(
+                f"message {self.name!r} has no field(s) {sorted(unknown)} "
+                f"(declared: {sorted(declared)})"
+            )
+
+    def size_of(self, values: Mapping[str, Any], payload_size: int = 0) -> int:
+        total = MESSAGE_HEADER_BYTES + payload_size
+        for spec in self.fields:
+            total += spec.size_of(values.get(spec.name))
+        return total
+
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """An instance of a message type travelling between two overlay nodes.
+
+    ``fields`` holds the declared field values; ``payload`` carries opaque
+    application data (or a wrapped higher-layer message) of ``payload_size``
+    bytes.  ``source`` is filled by the runtime on reception with the sender's
+    host address, matching the paper's implicit ``from`` variable.
+    """
+
+    type: MessageType
+    fields: dict[str, Any] = field(default_factory=dict)
+    payload: Any = None
+    payload_size: int = 0
+    priority: int = -1
+    source: Optional[int] = None
+    dest: Optional[int] = None
+    dest_key: Optional[int] = None
+    protocol: str = ""
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def __post_init__(self) -> None:
+        self.type.validate_fields(self.fields)
+
+    @property
+    def name(self) -> str:
+        return self.type.name
+
+    @property
+    def size(self) -> int:
+        return self.type.size_of(self.fields, self.payload_size)
+
+    def field(self, name: str) -> Any:
+        """The paper's ``field()`` accessor."""
+        if name not in {spec.name for spec in self.type.fields}:
+            raise MessageError(f"message {self.name!r} has no field {name!r}")
+        return self.fields.get(name)
+
+    def __getattr__(self, name: str) -> Any:
+        # Only called when normal attribute lookup fails: treat it as a field
+        # access so generated code can write ``msg.response``.
+        fields = object.__getattribute__(self, "fields")
+        if name in fields:
+            return fields[name]
+        msg_type = object.__getattribute__(self, "type")
+        if name in {spec.name for spec in msg_type.fields}:
+            return None
+        raise AttributeError(name)
+
+
+@dataclass
+class WrappedMessage:
+    """A higher-layer message carried as the payload of a lower-layer message.
+
+    This is how protocol layering crosses the wire: Scribe's ``join`` control
+    message, for example, travels as the payload of a Pastry route message and
+    is unwrapped by the Scribe agent on the receiving stack.
+    """
+
+    protocol: str
+    name: str
+    fields: dict[str, Any]
+    payload: Any = None
+    payload_size: int = 0
+    source: Optional[int] = None
+    source_key: Optional[int] = None
+    size: int = 0
+
+    def as_message(self, message_type: MessageType) -> Message:
+        message = Message(
+            type=message_type,
+            fields=dict(self.fields),
+            payload=self.payload,
+            payload_size=self.payload_size,
+            source=self.source,
+            protocol=self.protocol,
+        )
+        return message
+
+
+class MessageCatalog:
+    """The set of message types declared by one protocol."""
+
+    def __init__(self, types: Optional[list[MessageType]] = None) -> None:
+        self._types: dict[str, MessageType] = {}
+        for message_type in types or []:
+            self.add(message_type)
+
+    def add(self, message_type: MessageType) -> None:
+        if message_type.name in self._types:
+            raise MessageError(f"message {message_type.name!r} declared twice")
+        self._types[message_type.name] = message_type
+
+    def get(self, name: str) -> MessageType:
+        try:
+            return self._types[name]
+        except KeyError as exc:
+            raise MessageError(
+                f"unknown message type {name!r} (declared: {sorted(self._types)})"
+            ) from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __iter__(self):
+        return iter(self._types.values())
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def names(self) -> list[str]:
+        return sorted(self._types)

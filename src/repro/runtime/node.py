@@ -1,0 +1,226 @@
+"""A MACEDON overlay node.
+
+One :class:`MacedonNode` couples, for one emulated host:
+
+* a host address on the network emulator;
+* the transport subsystem (the named TCP/UDP/SWP instances the lowest-layer
+  protocol declared);
+* a :class:`~repro.runtime.stack.ProtocolStack` of agents;
+* a failure detector feeding ``error`` API transitions;
+* the application's registered upcall handlers.
+
+It also implements the runtime side of the MACEDON API: ``macedon_init`` and
+the data/control calls are forwarded to the highest agent in the stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Type
+
+from ..api.handlers import Handlers
+from ..network.emulator import NetworkEmulator
+from ..transport.base import TransportKind
+from ..transport.demux import TransportHost
+from .agent import Agent, TransitionContext
+from .engine import Simulator
+from .failure import FailureDetector, FailureDetectorConfig
+from .messages import Message
+from .stack import ProtocolStack
+from .tracing import Tracer
+
+
+@dataclass
+class _Heartbeat:
+    """Runtime-level heartbeat request/response payload (never reaches agents)."""
+
+    kind: str  # "ping" or "pong"
+    size: int = 8
+
+
+class MacedonNode:
+    """One overlay participant: transports + agent stack + application handlers."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        emulator: NetworkEmulator,
+        agent_classes: Sequence[Type[Agent]],
+        *,
+        tracer: Optional[Tracer] = None,
+        topology_node: Optional[int] = None,
+        strict_locking: bool = True,
+        failure_config: Optional[FailureDetectorConfig] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.emulator = emulator
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.strict_locking = strict_locking
+        self.handlers = Handlers()
+
+        host = emulator.attach_host(topology_node)
+        self.address: int = host.address
+        self.host = host
+        self.transport_host = TransportHost(simulator, emulator, self.address)
+        self.transport_host.set_deliver_upcall(self._on_transport_deliver)
+
+        self.failure_detector = FailureDetector(
+            simulator,
+            send_heartbeat=self._send_heartbeat,
+            on_failure=self._on_peer_failure,
+            config=failure_config,
+        )
+
+        self.stack = ProtocolStack(self, agent_classes)
+        self.stack.validate_layering()
+        self._declare_transports()
+        self.initialized = False
+
+    # ------------------------------------------------------------------- setup
+    def _declare_transports(self) -> None:
+        lowest = self.stack.lowest
+        declarations = lowest.TRANSPORT_DECLS
+        if not declarations:
+            self.transport_host.ensure_default()
+            return
+        for kind_name, instance_name in declarations:
+            kind = TransportKind.parse(kind_name)
+            self.transport_host.declare(kind, instance_name)
+        # The heartbeat path needs some transport even if the protocol binds
+        # every declared instance to specific messages.
+        self._heartbeat_transport = declarations[0][1]
+
+    @property
+    def heartbeat_transport(self) -> str:
+        declared = self.stack.lowest.TRANSPORT_DECLS
+        if declared:
+            return declared[0][1]
+        return self.transport_host.DEFAULT_TRANSPORT
+
+    # --------------------------------------------------------------- MACEDON API
+    def macedon_init(self, bootstrap: int, protocol: Optional[str] = None) -> None:
+        """Initialise the stack (``macedon_init`` in Figure 3).
+
+        Agents are initialised bottom-up so a higher layer can immediately use
+        its substrate from inside its own ``init`` transition.  *protocol* is
+        accepted for API fidelity; the stack already fixes which protocols run.
+        """
+        del protocol  # The stack composition determines the protocols.
+        self.failure_detector.start()
+        for agent in self.stack:
+            agent.api_call("init", TransitionContext(bootstrap=int(bootstrap)))
+        self.initialized = True
+
+    def macedon_register_handlers(self, deliver=None, forward=None,
+                                  notify=None, upcall=None) -> None:
+        self.handlers = Handlers(deliver=deliver, forward=forward,
+                                 notify=notify, upcall=upcall)
+
+    def macedon_route(self, dest_key: int, payload: Any, size: int,
+                      priority: int = -1) -> Any:
+        return self.stack.highest.api_call("route", TransitionContext(
+            dest_key=int(dest_key), payload=payload, payload_size=size,
+            priority=priority))
+
+    def macedon_routeIP(self, dest: int, payload: Any, size: int,
+                        priority: int = -1) -> Any:
+        return self.stack.highest.api_call("routeIP", TransitionContext(
+            dest=int(dest), payload=payload, payload_size=size, priority=priority))
+
+    def macedon_multicast(self, group: int, payload: Any, size: int,
+                          priority: int = -1) -> Any:
+        return self.stack.highest.api_call("multicast", TransitionContext(
+            group=int(group), payload=payload, payload_size=size, priority=priority))
+
+    def macedon_anycast(self, group: int, payload: Any, size: int,
+                        priority: int = -1) -> Any:
+        return self.stack.highest.api_call("anycast", TransitionContext(
+            group=int(group), payload=payload, payload_size=size, priority=priority))
+
+    def macedon_collect(self, group: int, payload: Any, size: int,
+                        priority: int = -1) -> Any:
+        return self.stack.highest.api_call("collect", TransitionContext(
+            group=int(group), payload=payload, payload_size=size, priority=priority))
+
+    def macedon_create_group(self, group: int) -> Any:
+        return self.stack.highest.api_call("create_group",
+                                           TransitionContext(group=int(group)))
+
+    def macedon_join(self, group: int) -> Any:
+        return self.stack.highest.api_call("join", TransitionContext(group=int(group)))
+
+    def macedon_leave(self, group: int) -> Any:
+        return self.stack.highest.api_call("leave", TransitionContext(group=int(group)))
+
+    # ------------------------------------------------------------------ the wire
+    def send_wire_message(self, transport_name: str, dest: int, message: Message,
+                          payload_tag: Optional[str] = None) -> None:
+        """Transmit a lowest-layer protocol message via the named transport."""
+        self.transport_host.send(transport_name, dest, message, message.size,
+                                 payload_tag)
+
+    def _on_transport_deliver(self, src: int, payload: Any, size: int,
+                              transport_name: str) -> None:
+        self.failure_detector.heard_from(src)
+        if isinstance(payload, _Heartbeat):
+            if payload.kind == "ping":
+                pong = _Heartbeat(kind="pong")
+                self.transport_host.send(self.heartbeat_transport, src, pong, pong.size)
+            return
+        if not isinstance(payload, Message):
+            # Unknown wire payload; count it in traces and drop.
+            self.tracer.record(self.stack.lowest.TRACE, self.simulator.now,
+                               self.address, "runtime", "error",
+                               f"unknown wire payload from {src}")
+            return
+        message = payload
+        message.source = src
+        agent = self.stack.find_for_message(message.protocol) or self.stack.lowest
+        agent.trace("message_recv", message.name, source=src, size=size)
+        agent.receive_message(message, direction="recv")
+
+    # -------------------------------------------------------------- failure path
+    def _send_heartbeat(self, peer: int) -> None:
+        ping = _Heartbeat(kind="ping")
+        self.transport_host.send(self.heartbeat_transport, peer, ping, ping.size)
+
+    def _on_peer_failure(self, peer: int) -> None:
+        for agent in self.stack:
+            agent.peer_failed(peer)
+
+    # --------------------------------------------------------- application upcalls
+    def app_deliver(self, agent: Agent, payload: Any, size: int, mtype: Any) -> None:
+        if self.handlers.deliver is not None:
+            self.handlers.deliver(payload, size, mtype)
+
+    def app_forward(self, agent: Agent, payload: Any, size: int, mtype: Any,
+                    next_hop: Optional[int], next_hop_key: Optional[int]):
+        if self.handlers.forward is not None:
+            allow = self.handlers.forward(payload, size, mtype, next_hop, next_hop_key)
+            return (bool(allow), None)
+        return (True, None)
+
+    def app_notify(self, agent: Agent, neighbors: list[int], nbr_type: int) -> None:
+        if self.handlers.notify is not None:
+            self.handlers.notify(nbr_type, neighbors)
+
+    def app_upcall(self, agent: Agent, op: Any, arg: Any) -> Any:
+        if self.handlers.upcall is not None:
+            return self.handlers.upcall(op, arg)
+        return None
+
+    # ------------------------------------------------------------------ helpers
+    def agent(self, protocol: str) -> Agent:
+        """The agent running *protocol* on this node."""
+        return self.stack.agent(protocol)
+
+    @property
+    def highest_agent(self) -> Agent:
+        return self.stack.highest
+
+    @property
+    def lowest_agent(self) -> Agent:
+        return self.stack.lowest
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MacedonNode(addr={self.address}, stack={self.stack.describe()})"

@@ -1,0 +1,99 @@
+"""Protocol layering: the MACEDON agent stack.
+
+A node runs an ordered stack of agents (Figure 2 of the paper): the lowest
+agent talks to the transport subsystem, the highest talks to the application,
+and adjacent agents talk through the standard API (downcalls) and the
+``forward``/``deliver``/``notify``/``upcall_ext`` upcalls.  A stack may have
+any number of layers; ``protocol scribe uses pastry`` simply puts the Scribe
+agent above the Pastry agent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Type
+
+from .agent import Agent, AgentError
+
+
+class StackError(RuntimeError):
+    """Raised for malformed stacks (empty, or inconsistent layering)."""
+
+
+class ProtocolStack:
+    """The ordered agents of one node, lowest layer first."""
+
+    def __init__(self, node: "MacedonNode",  # noqa: F821 - forward reference
+                 agent_classes: Sequence[Type[Agent]]) -> None:
+        if not agent_classes:
+            raise StackError("a protocol stack needs at least one agent class")
+        self.node = node
+        self.agents: list[Agent] = []
+        for agent_class in agent_classes:
+            agent = agent_class(node)
+            if self.agents:
+                below = self.agents[-1]
+                below.upper = agent
+                agent.lower = below
+            self.agents.append(agent)
+        self._by_protocol = {agent.PROTOCOL: agent for agent in self.agents}
+        if len(self._by_protocol) != len(self.agents):
+            raise StackError("duplicate protocol names in one stack")
+
+    # ------------------------------------------------------------------ access
+    @property
+    def lowest(self) -> Agent:
+        return self.agents[0]
+
+    @property
+    def highest(self) -> Agent:
+        return self.agents[-1]
+
+    def agent(self, protocol: str) -> Agent:
+        try:
+            return self._by_protocol[protocol]
+        except KeyError as exc:
+            raise StackError(
+                f"no agent for protocol {protocol!r} in stack "
+                f"(have: {sorted(self._by_protocol)})"
+            ) from exc
+
+    def __contains__(self, protocol: str) -> bool:
+        return protocol in self._by_protocol
+
+    def __iter__(self):
+        return iter(self.agents)
+
+    def __len__(self) -> int:
+        return len(self.agents)
+
+    def find_for_message(self, protocol: str) -> Optional[Agent]:
+        """The agent that owns wire messages tagged with *protocol*, if any."""
+        return self._by_protocol.get(protocol)
+
+    # ------------------------------------------------------------------- checks
+    def validate_layering(self) -> None:
+        """Check declared ``uses`` relationships against the actual stack order.
+
+        A generated agent whose specification says ``protocol scribe uses
+        pastry`` must sit directly above an agent whose protocol name is
+        ``pastry`` (or a protocol that itself claims to provide it).  The
+        lowest layer must not declare a base protocol.
+        """
+        for index, agent in enumerate(self.agents):
+            base = agent.BASE_PROTOCOL
+            if index == 0:
+                if base:
+                    raise StackError(
+                        f"lowest-layer protocol {agent.PROTOCOL!r} declares "
+                        f"'uses {base}' but has no layer below"
+                    )
+                continue
+            if base and self.agents[index - 1].PROTOCOL != base:
+                raise StackError(
+                    f"protocol {agent.PROTOCOL!r} declares 'uses {base}' but is "
+                    f"layered above {self.agents[index - 1].PROTOCOL!r}"
+                )
+
+    def describe(self) -> str:
+        """Human-readable one-line description, e.g. ``splitstream/scribe/pastry``."""
+        return "/".join(agent.PROTOCOL for agent in reversed(self.agents))

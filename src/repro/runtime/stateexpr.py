@@ -1,0 +1,134 @@
+"""FSM state expressions.
+
+Transitions in a mac file are scoped by a state expression, e.g.::
+
+    any API route [locking read;] { ... }
+    probing timer keep_probing { ... }
+    !(joining|init) recv join { ... }
+
+An expression is ``any``, a single state name, an alternation ``a|b|c``
+(optionally parenthesised), or a negation ``!(...)`` / ``!name`` of the above.
+This module parses such expressions once and evaluates them against the
+current FSM state on every dispatch.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence
+
+
+class StateExprError(ValueError):
+    """Raised for malformed state expressions or unknown state names."""
+
+
+_TOKEN_RE = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*|[()|!])")
+
+
+@dataclass(frozen=True)
+class StateExpr:
+    """A parsed state expression: a set of states, possibly negated."""
+
+    source: str
+    states: FrozenSet[str]
+    negated: bool = False
+    match_any: bool = False
+
+    def matches(self, state: str) -> bool:
+        """Whether the expression is satisfied by the given FSM state."""
+        if self.match_any:
+            return True
+        result = state in self.states
+        return not result if self.negated else result
+
+    def __str__(self) -> str:
+        return self.source
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise StateExprError(f"unexpected character in state expression: {remainder[0]!r}")
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+def parse_state_expr(text: str,
+                     known_states: Optional[Sequence[str]] = None) -> StateExpr:
+    """Parse a state expression, optionally validating names against *known_states*.
+
+    ``init`` is always an allowed state name (it is implicit in every
+    protocol), as is ``any``.
+    """
+    source = text.strip()
+    if not source:
+        raise StateExprError("empty state expression")
+    tokens = _tokenize(source)
+    if not tokens:
+        raise StateExprError(f"empty state expression: {text!r}")
+
+    negated = False
+    index = 0
+    if tokens[index] == "!":
+        negated = True
+        index += 1
+
+    # Optional single level of parentheses around the alternation.
+    parenthesised = False
+    if index < len(tokens) and tokens[index] == "(":
+        parenthesised = True
+        index += 1
+
+    names: list[str] = []
+    expect_name = True
+    while index < len(tokens):
+        token = tokens[index]
+        if token == ")":
+            if not parenthesised:
+                raise StateExprError(f"unbalanced ')' in {text!r}")
+            parenthesised = False
+            index += 1
+            break
+        if expect_name:
+            if token in ("|", "(", "!", ")"):
+                raise StateExprError(f"expected a state name in {text!r}")
+            names.append(token)
+            expect_name = False
+        else:
+            if token != "|":
+                raise StateExprError(f"expected '|' between state names in {text!r}")
+            expect_name = True
+        index += 1
+
+    if parenthesised:
+        raise StateExprError(f"missing ')' in {text!r}")
+    if index != len(tokens):
+        raise StateExprError(f"trailing tokens in state expression {text!r}")
+    if expect_name:
+        raise StateExprError(f"dangling '|' in state expression {text!r}")
+    if not names:
+        raise StateExprError(f"no state names in {text!r}")
+
+    if len(names) == 1 and names[0] == "any":
+        if negated:
+            raise StateExprError("'!any' is not a useful state expression")
+        return StateExpr(source=source, states=frozenset(), negated=False, match_any=True)
+
+    if known_states is not None:
+        allowed = set(known_states) | {"init"}
+        unknown = [name for name in names if name not in allowed]
+        if unknown:
+            raise StateExprError(
+                f"unknown state(s) {unknown} in expression {text!r} "
+                f"(declared: {sorted(allowed)})"
+            )
+
+    return StateExpr(source=source, states=frozenset(names), negated=negated)

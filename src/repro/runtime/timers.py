@@ -1,0 +1,131 @@
+"""The timer subsystem.
+
+A ``mac`` state-variable block may declare timers with an optional default
+period::
+
+    state_variables {
+        timer keep_probing;
+        timer probe_requester 5.0;
+    }
+
+Timer expirations are events that trigger timer transitions.  The agent owns
+one :class:`ProtocolTimer` per declaration and exposes the paper's
+``timer_sched`` / ``timer_resched`` / ``timer_cancel`` primitives on top of
+it.  Timers are one-shot: periodic behaviour is expressed (exactly as in the
+paper's Overcast/Chord specs) by the transition rescheduling its own timer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .engine import EventHandle, Simulator
+
+
+class TimerError(RuntimeError):
+    """Raised for unknown timers or scheduling misuse."""
+
+
+@dataclass(frozen=True)
+class TimerSpec:
+    """A declared timer: its name and optional default period in seconds."""
+
+    name: str
+    period: Optional[float] = None
+
+
+class ProtocolTimer:
+    """One named timer owned by an agent instance."""
+
+    def __init__(self, spec: TimerSpec, simulator: Simulator,
+                 on_expire: Callable[[str], None]) -> None:
+        self.spec = spec
+        self.simulator = simulator
+        self._on_expire = on_expire
+        self._handle: Optional[EventHandle] = None
+        self.fire_count = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def scheduled(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    @property
+    def expires_at(self) -> Optional[float]:
+        if not self.scheduled:
+            return None
+        return self._handle.time
+
+    def schedule(self, delay: Optional[float] = None) -> None:
+        """Schedule the timer *delay* seconds from now.
+
+        With no explicit delay, the declared default period is used; a timer
+        declared without a period must always be given an explicit delay.
+        Scheduling an already-scheduled timer pushes the expiration out
+        (i.e. behaves like the paper's ``timer_resched``).
+        """
+        if delay is None:
+            delay = self.spec.period
+        if delay is None:
+            raise TimerError(
+                f"timer {self.name!r} has no default period; pass an explicit delay"
+            )
+        if delay < 0:
+            raise TimerError(f"timer {self.name!r} scheduled with negative delay {delay}")
+        self.cancel()
+        self._handle = self.simulator.schedule(
+            delay, self._fire, label=f"timer:{self.name}"
+        )
+
+    def reschedule(self, delay: Optional[float] = None) -> None:
+        """Alias for :meth:`schedule`; mirrors the paper's ``timer_resched``."""
+        self.schedule(delay)
+
+    def cancel(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self.fire_count += 1
+        self._on_expire(self.name)
+
+
+class TimerTable:
+    """All timers of one agent, addressable by name."""
+
+    def __init__(self, simulator: Simulator,
+                 on_expire: Callable[[str], None]) -> None:
+        self._simulator = simulator
+        self._on_expire = on_expire
+        self._timers: dict[str, ProtocolTimer] = {}
+
+    def declare(self, spec: TimerSpec) -> ProtocolTimer:
+        if spec.name in self._timers:
+            raise TimerError(f"timer {spec.name!r} declared twice")
+        timer = ProtocolTimer(spec, self._simulator, self._on_expire)
+        self._timers[spec.name] = timer
+        return timer
+
+    def get(self, name: str) -> ProtocolTimer:
+        try:
+            return self._timers[name]
+        except KeyError as exc:
+            raise TimerError(
+                f"unknown timer {name!r} (declared: {sorted(self._timers)})"
+            ) from exc
+
+    def cancel_all(self) -> None:
+        for timer in self._timers.values():
+            timer.cancel()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._timers
+
+    def names(self) -> list[str]:
+        return sorted(self._timers)

@@ -1,0 +1,113 @@
+"""Automatic tracing.
+
+The ``trace_`` header of a mac file selects one of four levels (``off``,
+``low``, ``med``, ``high``).  Generated agents emit trace records for state
+changes, transitions, message transmissions, and timer activity at increasing
+levels of detail; the evaluation framework and the debugging workflow both
+read the same records (the paper's built-in debugging/evaluation support).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+
+class TraceLevel(enum.IntEnum):
+    """Increasing verbosity, matching the grammar's four settings."""
+
+    OFF = 0
+    LOW = 1
+    MED = 2
+    HIGH = 3
+
+    @classmethod
+    def parse(cls, text: str) -> "TraceLevel":
+        try:
+            return cls[text.upper()]
+        except KeyError as exc:
+            raise ValueError(f"unknown trace level {text!r}") from exc
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event."""
+
+    time: float
+    node: int
+    protocol: str
+    category: str
+    detail: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects trace records for one simulation.
+
+    A single tracer is shared by every node in an experiment so records are
+    globally time-ordered.  ``max_records`` bounds memory for long runs; when
+    the bound is hit the oldest records are discarded (counts are kept).
+    """
+
+    #: Minimum level at which each category is recorded.
+    CATEGORY_LEVELS = {
+        "state_change": TraceLevel.LOW,
+        "error": TraceLevel.LOW,
+        "transition": TraceLevel.MED,
+        "message_send": TraceLevel.MED,
+        "message_recv": TraceLevel.MED,
+        "timer": TraceLevel.HIGH,
+        "neighbor": TraceLevel.HIGH,
+        "debug": TraceLevel.HIGH,
+    }
+
+    def __init__(self, max_records: int = 200_000) -> None:
+        self._records: list[TraceRecord] = []
+        self._max_records = max_records
+        self.counts: dict[str, int] = {}
+        self.dropped = 0
+
+    def record(self, level: TraceLevel, time: float, node: int, protocol: str,
+               category: str, detail: str, **data: Any) -> None:
+        """Record an event if *level* enables its category."""
+        threshold = self.CATEGORY_LEVELS.get(category, TraceLevel.HIGH)
+        if level < threshold:
+            return
+        self.counts[category] = self.counts.get(category, 0) + 1
+        if len(self._records) >= self._max_records:
+            self._records.pop(0)
+            self.dropped += 1
+        self._records.append(
+            TraceRecord(time=time, node=node, protocol=protocol,
+                        category=category, detail=detail, data=dict(data))
+        )
+
+    def records(self, category: Optional[str] = None,
+                protocol: Optional[str] = None,
+                node: Optional[int] = None) -> list[TraceRecord]:
+        """Filtered view over collected records."""
+        out = []
+        for record in self._records:
+            if category is not None and record.category != category:
+                continue
+            if protocol is not None and record.protocol != protocol:
+                continue
+            if node is not None and record.node != node:
+                continue
+            out.append(record)
+        return out
+
+    def count(self, category: str) -> int:
+        return self.counts.get(category, 0)
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.counts.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterable[TraceRecord]:
+        return iter(self._records)

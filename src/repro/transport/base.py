@@ -1,0 +1,159 @@
+"""Transport subsystem interfaces.
+
+The MACEDON grammar lets the lowest-layer protocol declare named transport
+instances of three kinds and bind each message type to one of them::
+
+    transports {
+        SWP HIGHEST;
+        TCP HIGH;
+        TCP MED;
+        TCP LOW;
+        UDP BEST_EFFORT;
+    }
+
+* ``TCP`` — reliable and congestion-friendly (AIMD window).
+* ``UDP`` — unreliable and congestion-unfriendly (best effort).
+* ``SWP`` — reliable but congestion-unfriendly (fixed-size sliding window).
+
+Declaring *multiple* blocking transports of the same kind is the paper's
+mechanism for message priority: if one TCP instance is blocked draining
+low-priority traffic, high-priority messages on a different instance are not
+head-of-line blocked behind it.  The runtime preserves those semantics: each
+transport instance has its own send queue and connection state.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..network.emulator import NetworkEmulator
+from ..network.packet import Packet
+from ..runtime.engine import Simulator
+
+#: Upcall signature: (source host address, payload, payload size, transport name).
+DeliverUpcall = Callable[[int, Any, int, str], None]
+
+
+class TransportKind(enum.Enum):
+    """The three transport service classes of the MACEDON grammar."""
+
+    TCP = "TCP"
+    UDP = "UDP"
+    SWP = "SWP"
+
+    @classmethod
+    def parse(cls, text: str) -> "TransportKind":
+        try:
+            return cls[text.upper()]
+        except KeyError as exc:
+            raise ValueError(f"unknown transport kind {text!r}") from exc
+
+
+@dataclass
+class Segment:
+    """What a transport puts inside a network packet."""
+
+    transport: str
+    kind: str              # "DATA" or "ACK"
+    seq: int
+    payload: Any = None
+    size: int = 0
+    ack: int = -1
+    #: Identifier of the logical message this segment belongs to (for reassembly).
+    msg_id: int = 0
+    #: Index / count of this segment within its logical message.
+    chunk: int = 0
+    chunks: int = 1
+
+
+@dataclass
+class TransportStats:
+    """Per-transport-instance counters."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    segments_sent: int = 0
+    segments_received: int = 0
+    retransmissions: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+    drops: int = 0
+
+
+class Transport(abc.ABC):
+    """Base class for one named transport instance bound to one host."""
+
+    #: Maximum segment payload size in bytes (Ethernet-ish MSS).
+    MSS = 1400
+
+    def __init__(
+        self,
+        name: str,
+        simulator: Simulator,
+        emulator: NetworkEmulator,
+        local_address: int,
+    ) -> None:
+        self.name = name
+        self.simulator = simulator
+        self.emulator = emulator
+        self.local_address = local_address
+        self.stats = TransportStats()
+        self._deliver_upcall: Optional[DeliverUpcall] = None
+        self._msg_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------ wiring
+    def set_deliver_upcall(self, upcall: DeliverUpcall) -> None:
+        """Register the callback invoked when a complete message arrives."""
+        self._deliver_upcall = upcall
+
+    def _deliver_up(self, src: int, payload: Any, size: int) -> None:
+        self.stats.messages_delivered += 1
+        self.stats.bytes_delivered += size
+        if self._deliver_upcall is not None:
+            self._deliver_upcall(src, payload, size, self.name)
+
+    def _send_packet(self, dst: int, segment: Segment, size: int,
+                     payload_tag: Optional[str] = None) -> bool:
+        packet = Packet(
+            src=self.local_address,
+            dst=dst,
+            payload=segment,
+            size=size,
+            protocol=f"{self.kind.value.lower()}:{self.name}",
+        )
+        accepted = self.emulator.send(packet, payload_tag=payload_tag)
+        self.stats.segments_sent += 1
+        self.stats.bytes_sent += size
+        if not accepted:
+            self.stats.drops += 1
+        return accepted
+
+    # --------------------------------------------------------------- interface
+    @property
+    @abc.abstractmethod
+    def kind(self) -> TransportKind:
+        """Service class of this transport."""
+
+    @abc.abstractmethod
+    def send(self, dst: int, payload: Any, size: int,
+             payload_tag: Optional[str] = None) -> None:
+        """Send a logical message of *size* bytes to host *dst*."""
+
+    @abc.abstractmethod
+    def handle_segment(self, src: int, segment: Segment) -> None:
+        """Process a segment received from host *src*."""
+
+    # ------------------------------------------------------------------ helpers
+    def next_msg_id(self) -> int:
+        return next(self._msg_ids)
+
+    def queued_bytes(self, dst: Optional[int] = None) -> int:
+        """Bytes waiting to be transmitted (0 for unqueued transports)."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, host={self.local_address})"

@@ -1,0 +1,114 @@
+"""Per-host transport multiplexer.
+
+One :class:`TransportHost` is attached to each emulated host.  It owns the
+named transport instances a protocol stack declared, registers itself as the
+host's network receive callback, and demultiplexes arriving segments to the
+right transport instance by name — the interoperability layer the paper
+describes sitting between the generated agent code and ns / native sockets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..network.emulator import NetworkEmulator
+from ..network.packet import Packet
+from ..runtime.engine import Simulator
+from .base import DeliverUpcall, Segment, Transport, TransportKind
+from .swp import SwpTransport
+from .tcp import TcpTransport
+from .udp import UdpTransport
+
+
+class TransportError(RuntimeError):
+    """Raised for misconfigured transport declarations or unknown instances."""
+
+
+_TRANSPORT_CLASSES = {
+    TransportKind.TCP: TcpTransport,
+    TransportKind.UDP: UdpTransport,
+    TransportKind.SWP: SwpTransport,
+}
+
+
+class TransportHost:
+    """The set of named transport instances bound to one emulated host."""
+
+    #: Name of the transport created automatically when a protocol declares none.
+    DEFAULT_TRANSPORT = "DEFAULT"
+
+    def __init__(self, simulator: Simulator, emulator: NetworkEmulator,
+                 local_address: int) -> None:
+        self.simulator = simulator
+        self.emulator = emulator
+        self.local_address = local_address
+        self._transports: dict[str, Transport] = {}
+        self._deliver_upcall: Optional[DeliverUpcall] = None
+        emulator.set_receive_callback(local_address, self._on_packet)
+
+    # ----------------------------------------------------------------- config
+    def declare(self, kind: TransportKind, name: str, **options: Any) -> Transport:
+        """Create a named transport instance of the given kind."""
+        if name in self._transports:
+            raise TransportError(f"transport {name!r} declared twice")
+        transport_cls = _TRANSPORT_CLASSES[kind]
+        transport = transport_cls(name, self.simulator, self.emulator,
+                                  self.local_address, **options)
+        if self._deliver_upcall is not None:
+            transport.set_deliver_upcall(self._deliver_upcall)
+        self._transports[name] = transport
+        return transport
+
+    def ensure_default(self) -> Transport:
+        """Create the default TCP transport if nothing was declared."""
+        if self.DEFAULT_TRANSPORT not in self._transports:
+            self.declare(TransportKind.TCP, self.DEFAULT_TRANSPORT)
+        return self._transports[self.DEFAULT_TRANSPORT]
+
+    def set_deliver_upcall(self, upcall: DeliverUpcall) -> None:
+        """Register the callback all transports use to deliver complete messages."""
+        self._deliver_upcall = upcall
+        for transport in self._transports.values():
+            transport.set_deliver_upcall(upcall)
+
+    # ------------------------------------------------------------------ access
+    def get(self, name: str) -> Transport:
+        try:
+            return self._transports[name]
+        except KeyError as exc:
+            raise TransportError(
+                f"unknown transport {name!r} on host {self.local_address} "
+                f"(declared: {sorted(self._transports)})"
+            ) from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._transports
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._transports)
+
+    def send(self, transport_name: str, dst: int, payload: Any, size: int,
+             payload_tag: Optional[str] = None) -> None:
+        """Send *payload* via the named transport instance."""
+        self.get(transport_name).send(dst, payload, size, payload_tag)
+
+    # ----------------------------------------------------------------- receive
+    def _on_packet(self, packet: Packet) -> None:
+        segment = packet.payload
+        if not isinstance(segment, Segment):
+            # Not transport traffic (e.g. a raw test packet); ignore silently.
+            return
+        transport = self._transports.get(segment.transport)
+        if transport is None:
+            # The peer used a transport name we have not declared; this is a
+            # configuration error in a layered stack and should be loud.
+            raise TransportError(
+                f"host {self.local_address} received segment for undeclared "
+                f"transport {segment.transport!r}"
+            )
+        transport.handle_segment(packet.src, segment)
+
+    def stats(self) -> dict[str, Any]:
+        """Per-transport statistics snapshot."""
+        return {name: transport.stats for name, transport in self._transports.items()}

@@ -1,0 +1,301 @@
+"""Shared machinery for the reliable transports (TCP and SWP).
+
+Both reliable kinds share everything except the window policy:
+
+* segmentation of logical messages into MSS-sized segments;
+* cumulative acknowledgements with duplicate-ACK fast retransmit;
+* retransmission timers with exponential backoff and SRTT/RTTVAR estimation;
+* in-order delivery and reassembly of logical messages at the receiver;
+* per-connection send queues, which is what gives the paper's priority
+  transports their meaning — a blocked low-priority connection does not stall
+  a separate high-priority transport instance.
+
+:class:`WindowPolicy` is the strategy object that differs between kinds:
+``TCP`` uses slow start + AIMD congestion avoidance (congestion-friendly),
+``SWP`` uses a fixed window (reliable but congestion-unfriendly).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..runtime.engine import EventHandle
+from .base import Segment, Transport, TransportKind
+
+
+class WindowPolicy(abc.ABC):
+    """How many segments may be outstanding, and how to react to events."""
+
+    @abc.abstractmethod
+    def window(self) -> float:
+        """Current window size in segments."""
+
+    def on_ack(self, newly_acked: int) -> None:
+        """Called when *newly_acked* segments are cumulatively acknowledged."""
+
+    def on_timeout(self) -> None:
+        """Called when the retransmission timer fires."""
+
+    def on_fast_retransmit(self) -> None:
+        """Called when three duplicate ACKs trigger a fast retransmit."""
+
+
+class AimdWindow(WindowPolicy):
+    """TCP-style slow start and additive-increase/multiplicative-decrease."""
+
+    def __init__(self, initial_window: float = 2.0, ssthresh: float = 64.0,
+                 max_window: float = 256.0) -> None:
+        self.cwnd = initial_window
+        self.ssthresh = ssthresh
+        self.max_window = max_window
+
+    def window(self) -> float:
+        return self.cwnd
+
+    def on_ack(self, newly_acked: int) -> None:
+        for _ in range(newly_acked):
+            if self.cwnd < self.ssthresh:
+                self.cwnd += 1.0                      # slow start
+            else:
+                self.cwnd += 1.0 / max(self.cwnd, 1)  # congestion avoidance
+        self.cwnd = min(self.cwnd, self.max_window)
+
+    def on_timeout(self) -> None:
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = 1.0
+
+    def on_fast_retransmit(self) -> None:
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = self.ssthresh
+
+
+class FixedWindow(WindowPolicy):
+    """SWP-style fixed window: reliable, but never backs off."""
+
+    def __init__(self, window_size: int = 16) -> None:
+        self._window = float(window_size)
+
+    def window(self) -> float:
+        return self._window
+
+
+@dataclass
+class _InFlight:
+    segment: Segment
+    size: int
+    sent_at: float
+    retransmitted: bool = False
+
+
+@dataclass
+class _QueuedSegment:
+    segment: Segment
+    size: int
+    payload_tag: Optional[str]
+
+
+class ReliableConnection:
+    """One direction of reliable delivery between this host and one peer."""
+
+    INITIAL_RTO = 1.0
+    MIN_RTO = 0.2
+    MAX_RTO = 30.0
+    ACK_SIZE = 4
+
+    def __init__(self, transport: "ReliableTransport", peer: int,
+                 policy: WindowPolicy) -> None:
+        self.transport = transport
+        self.peer = peer
+        self.policy = policy
+        # Sender state.
+        self.next_seq = 0
+        self.send_base = 0
+        self.queue: deque[_QueuedSegment] = deque()
+        self.in_flight: dict[int, _InFlight] = {}
+        self.dup_acks = 0
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+        self.rto = self.INITIAL_RTO
+        self._timer: Optional[EventHandle] = None
+        # Receiver state.
+        self.expected_seq = 0
+        self.out_of_order: dict[int, Segment] = {}
+        self._assembly: dict[int, dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------ sender
+    def enqueue(self, segment: Segment, size: int, payload_tag: Optional[str]) -> None:
+        self.queue.append(_QueuedSegment(segment, size, payload_tag))
+        self._pump()
+
+    def queued_bytes(self) -> int:
+        return sum(item.size for item in self.queue)
+
+    def _pump(self) -> None:
+        """Transmit queued segments while the window allows."""
+        while self.queue and len(self.in_flight) < int(self.policy.window()):
+            item = self.queue.popleft()
+            item.segment.seq = self.next_seq
+            self.next_seq += 1
+            self._transmit(item.segment, item.size, item.payload_tag)
+
+    def _transmit(self, segment: Segment, size: int,
+                  payload_tag: Optional[str], retransmit: bool = False) -> None:
+        now = self.transport.simulator.now
+        self.in_flight[segment.seq] = _InFlight(segment=segment, size=size,
+                                                sent_at=now,
+                                                retransmitted=retransmit)
+        self.transport._send_packet(self.peer, segment, size, payload_tag)
+        if retransmit:
+            self.transport.stats.retransmissions += 1
+        self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+        if not self.in_flight:
+            self._timer = None
+            return
+        self._timer = self.transport.simulator.schedule(
+            self.rto, self._on_timeout, label=f"rto:{self.transport.name}:{self.peer}"
+        )
+
+    def _on_timeout(self) -> None:
+        if not self.in_flight:
+            self._timer = None
+            return
+        self.policy.on_timeout()
+        self.rto = min(self.rto * 2.0, self.MAX_RTO)
+        oldest_seq = min(self.in_flight)
+        entry = self.in_flight[oldest_seq]
+        entry.retransmitted = True
+        entry.sent_at = self.transport.simulator.now
+        self.transport._send_packet(self.peer, entry.segment, entry.size, None)
+        self.transport.stats.retransmissions += 1
+        self._arm_timer()
+
+    def handle_ack(self, ack: int) -> None:
+        """Process a cumulative ACK (next sequence number the peer expects)."""
+        if ack <= self.send_base:
+            self.dup_acks += 1
+            if self.dup_acks >= 3 and self.send_base in self.in_flight:
+                self.policy.on_fast_retransmit()
+                entry = self.in_flight[self.send_base]
+                entry.retransmitted = True
+                self.transport._send_packet(self.peer, entry.segment, entry.size, None)
+                self.transport.stats.retransmissions += 1
+                self.dup_acks = 0
+            return
+        self.dup_acks = 0
+        newly_acked = 0
+        now = self.transport.simulator.now
+        for seq in list(self.in_flight):
+            if seq < ack:
+                entry = self.in_flight.pop(seq)
+                newly_acked += 1
+                if not entry.retransmitted:
+                    self._update_rtt(now - entry.sent_at)
+        self.send_base = ack
+        self.policy.on_ack(newly_acked)
+        self._arm_timer()
+        self._pump()
+
+    def _update_rtt(self, sample: float) -> None:
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
+            self.srtt = 0.875 * self.srtt + 0.125 * sample
+        self.rto = min(max(self.srtt + 4.0 * self.rttvar, self.MIN_RTO), self.MAX_RTO)
+
+    # ---------------------------------------------------------------- receiver
+    def handle_data(self, segment: Segment) -> None:
+        if segment.seq >= self.expected_seq and segment.seq not in self.out_of_order:
+            self.out_of_order[segment.seq] = segment
+        # Advance over any contiguous run starting at expected_seq.
+        while self.expected_seq in self.out_of_order:
+            ready = self.out_of_order.pop(self.expected_seq)
+            self.expected_seq += 1
+            self._assemble(ready)
+        self._send_ack()
+
+    def _send_ack(self) -> None:
+        ack_segment = Segment(transport=self.transport.name, kind="ACK",
+                              seq=0, ack=self.expected_seq)
+        self.transport._send_packet(self.peer, ack_segment, self.ACK_SIZE, None)
+
+    def _assemble(self, segment: Segment) -> None:
+        if segment.chunks <= 1:
+            self.transport._deliver_up(self.peer, segment.payload, segment.size)
+            return
+        entry = self._assembly.setdefault(
+            segment.msg_id, {"received": 0, "bytes": 0, "payload": None}
+        )
+        entry["received"] += 1
+        entry["bytes"] += segment.size
+        if segment.chunk == 0:
+            entry["payload"] = segment.payload
+        if entry["received"] == segment.chunks:
+            self.transport._deliver_up(self.peer, entry["payload"], entry["bytes"])
+            del self._assembly[segment.msg_id]
+
+
+class ReliableTransport(Transport):
+    """Base class for TCP and SWP transport instances."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._connections: dict[int, ReliableConnection] = {}
+
+    @abc.abstractmethod
+    def _make_policy(self) -> WindowPolicy:
+        """Window policy for a new connection."""
+
+    def _connection(self, peer: int) -> ReliableConnection:
+        connection = self._connections.get(peer)
+        if connection is None:
+            connection = ReliableConnection(self, peer, self._make_policy())
+            self._connections[peer] = connection
+        return connection
+
+    def send(self, dst: int, payload: Any, size: int,
+             payload_tag: Optional[str] = None) -> None:
+        self.stats.messages_sent += 1
+        connection = self._connection(dst)
+        if size <= self.MSS:
+            segment = Segment(transport=self.name, kind="DATA", seq=0,
+                              payload=payload, size=size)
+            connection.enqueue(segment, max(size, 1), payload_tag)
+            return
+        msg_id = self.next_msg_id()
+        chunks = (size + self.MSS - 1) // self.MSS
+        remaining = size
+        for index in range(chunks):
+            chunk_size = min(self.MSS, remaining)
+            remaining -= chunk_size
+            segment = Segment(
+                transport=self.name, kind="DATA", seq=0,
+                payload=payload if index == 0 else None,
+                size=chunk_size, msg_id=msg_id, chunk=index, chunks=chunks,
+            )
+            connection.enqueue(segment, chunk_size, payload_tag)
+
+    def handle_segment(self, src: int, segment: Segment) -> None:
+        self.stats.segments_received += 1
+        connection = self._connection(src)
+        if segment.kind == "ACK":
+            connection.handle_ack(segment.ack)
+        else:
+            connection.handle_data(segment)
+
+    def queued_bytes(self, dst: Optional[int] = None) -> int:
+        if dst is not None:
+            connection = self._connections.get(dst)
+            return connection.queued_bytes() if connection else 0
+        return sum(connection.queued_bytes() for connection in self._connections.values())
+
+    def connection_count(self) -> int:
+        return len(self._connections)

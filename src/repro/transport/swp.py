@@ -1,0 +1,28 @@
+"""Reliable, congestion-unfriendly sliding-window transport (``SWP``).
+
+The paper's third service class: a simple sliding window protocol that
+retransmits losses but never reduces its window, so it is reliable without
+being congestion-friendly.  Overcast binds its highest-priority control
+messages (e.g. ``join_reply``, ``probe_request``) to an SWP instance so they
+are never head-of-line blocked behind bulk TCP traffic.
+"""
+
+from __future__ import annotations
+
+from .base import TransportKind
+from .reliable import FixedWindow, ReliableTransport, WindowPolicy
+
+
+class SwpTransport(ReliableTransport):
+    """Fixed-window reliable transport."""
+
+    def __init__(self, *args, window_size: int = 16, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._window_size = window_size
+
+    @property
+    def kind(self) -> TransportKind:
+        return TransportKind.SWP
+
+    def _make_policy(self) -> WindowPolicy:
+        return FixedWindow(window_size=self._window_size)

@@ -1,0 +1,26 @@
+"""Reliable, congestion-friendly transport (the grammar's ``TCP`` kind)."""
+
+from __future__ import annotations
+
+from .base import TransportKind
+from .reliable import AimdWindow, ReliableTransport, WindowPolicy
+
+
+class TcpTransport(ReliableTransport):
+    """TCP-like transport: reliable delivery with slow start and AIMD."""
+
+    def __init__(self, *args, initial_window: float = 2.0,
+                 ssthresh: float = 64.0, max_window: float = 256.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._initial_window = initial_window
+        self._ssthresh = ssthresh
+        self._max_window = max_window
+
+    @property
+    def kind(self) -> TransportKind:
+        return TransportKind.TCP
+
+    def _make_policy(self) -> WindowPolicy:
+        return AimdWindow(initial_window=self._initial_window,
+                          ssthresh=self._ssthresh,
+                          max_window=self._max_window)

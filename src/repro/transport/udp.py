@@ -1,0 +1,65 @@
+"""Best-effort datagram transport (the grammar's ``UDP`` kind).
+
+Unreliable and congestion-unfriendly: every logical message becomes one or
+more datagrams fired straight into the emulator; losses are not recovered and
+there is no pacing.  Overlays use it for messages whose loss is tolerable
+(periodic probes, soft-state refreshes, join requests that are retried by a
+timer anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .base import Segment, Transport, TransportKind
+
+
+class UdpTransport(Transport):
+    """Fire-and-forget datagrams with fragmentation but no reassembly timeout."""
+
+    @property
+    def kind(self) -> TransportKind:
+        return TransportKind.UDP
+
+    def send(self, dst: int, payload: Any, size: int,
+             payload_tag: Optional[str] = None) -> None:
+        self.stats.messages_sent += 1
+        if size <= self.MSS:
+            segment = Segment(transport=self.name, kind="DATA", seq=0,
+                              payload=payload, size=size)
+            self._send_packet(dst, segment, size, payload_tag)
+            return
+        # Fragment oversized messages; the receiver reassembles, and if any
+        # fragment is lost the whole message is lost (as with IP fragmentation).
+        msg_id = self.next_msg_id()
+        chunks = (size + self.MSS - 1) // self.MSS
+        remaining = size
+        for index in range(chunks):
+            chunk_size = min(self.MSS, remaining)
+            remaining -= chunk_size
+            segment = Segment(
+                transport=self.name, kind="DATA", seq=index,
+                payload=payload if index == 0 else None,
+                size=chunk_size, msg_id=msg_id, chunk=index, chunks=chunks,
+            )
+            self._send_packet(dst, segment, chunk_size, payload_tag)
+
+    def handle_segment(self, src: int, segment: Segment) -> None:
+        self.stats.segments_received += 1
+        if segment.chunks <= 1:
+            self._deliver_up(src, segment.payload, segment.size)
+            return
+        key = (src, segment.msg_id)
+        pending = self._reassembly.setdefault(key, {"chunks": {}, "payload": None})
+        pending["chunks"][segment.chunk] = segment.size
+        if segment.chunk == 0:
+            pending["payload"] = segment.payload
+        if len(pending["chunks"]) == segment.chunks:
+            total = sum(pending["chunks"].values())
+            payload = pending["payload"]
+            del self._reassembly[key]
+            self._deliver_up(src, payload, total)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._reassembly: dict[tuple[int, int], dict] = {}

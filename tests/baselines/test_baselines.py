@@ -1,0 +1,87 @@
+"""Tests for the lsd-Chord and FreePastry baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    FreePastryAgent,
+    FreePastryCapacityError,
+    LsdChordAgent,
+    reset_freepastry_population,
+)
+from repro.eval import ExperimentConfig, OverlayExperiment, average_correct_route_entries
+from repro.protocols import pastry_agent
+
+
+def test_lsd_chord_joins_and_adapts_timer():
+    experiment = OverlayExperiment([LsdChordAgent()],
+                                   ExperimentConfig(num_nodes=20, seed=71,
+                                                    convergence_time=120.0))
+    experiment.init_all(staggered=0.2)
+    experiment.converge()
+    agents = [node.agent("lsd_chord") for node in experiment.nodes]
+    assert all(agent.state == "joined" for agent in agents)
+    # The adaptive policy actually adjusted periods, and periods stay in bounds.
+    assert sum(agent.fix_adjustments for agent in agents) > 0
+    for agent in agents:
+        assert agent.MIN_FIX_PERIOD <= agent.fix_period <= agent.MAX_FIX_PERIOD
+    # Routing tables converge like regular Chord's.
+    assert average_correct_route_entries(experiment.nodes, "lsd_chord") > 20
+
+
+def test_freepastry_population_cap_and_reset():
+    reset_freepastry_population()
+    agent_class = FreePastryAgent()
+    assert agent_class.MAX_POPULATION == 100
+    experiment = OverlayExperiment([agent_class],
+                                   ExperimentConfig(num_nodes=10, seed=72,
+                                                    convergence_time=60.0))
+    assert agent_class.population == 10
+    reset_freepastry_population()
+    assert agent_class.population == 0
+
+
+def test_freepastry_slower_than_macedon_pastry_on_same_workload():
+    reset_freepastry_population()
+
+    def average_join_latency(cls, seed):
+        experiment = OverlayExperiment([cls], ExperimentConfig(num_nodes=12, seed=seed,
+                                                               convergence_time=90.0))
+        experiment.init_all()
+        experiment.converge()
+        latencies = experiment.multicast_latency_probe(
+            experiment.nodes[1], group=1, packets=2)
+        # Pastry has no multicast transition; fall back to a routed probe below.
+        return experiment
+
+    # Use direct per-message delay instead: send one route and time delivery.
+    def routed_latency(cls, seed):
+        experiment = OverlayExperiment([cls], ExperimentConfig(num_nodes=12, seed=seed,
+                                                               convergence_time=90.0))
+        experiment.init_all()
+        experiment.converge()
+        target = experiment.nodes[5]
+        arrival = {}
+        target.macedon_register_handlers(
+            deliver=lambda p, s, t: arrival.setdefault("t", experiment.simulator.now))
+        start = experiment.simulator.now
+        experiment.nodes[9].macedon_route(target.lowest_agent.my_key, None, 500)
+        experiment.run(20.0)
+        reset_freepastry_population()
+        assert "t" in arrival
+        return arrival["t"] - start
+
+    macedon = routed_latency(pastry_agent(), seed=73)
+    freepastry = routed_latency(FreePastryAgent(), seed=73)
+    assert freepastry > macedon
+
+
+def test_freepastry_capacity_error_raised():
+    reset_freepastry_population()
+    agent_class = FreePastryAgent()
+    with pytest.raises(FreePastryCapacityError):
+        OverlayExperiment([agent_class],
+                          ExperimentConfig(num_nodes=agent_class.MAX_POPULATION + 5,
+                                           seed=74, convergence_time=10.0))
+    reset_freepastry_population()

@@ -1,0 +1,77 @@
+"""Tests for the action-code rewriter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen.generator import normalize_action_code, rewrite_action_code
+from repro.dsl.errors import CodegenError
+
+SELF_NAMES = {"neighbor_add", "state_change", "papa", "counter", "MAX"}
+
+
+def test_primitives_and_state_vars_get_self_prefix():
+    out = rewrite_action_code("neighbor_add(papa, source)\nstate_change('joined')",
+                              SELF_NAMES)
+    assert "self.neighbor_add(self.papa, __ctx.source)" in out
+    assert "self.state_change('joined')" in out
+
+
+def test_assignment_to_state_variable_rewritten():
+    out = rewrite_action_code("counter = counter + 1", SELF_NAMES)
+    assert out.strip() == "self.counter = self.counter + 1"
+
+
+def test_keyword_arguments_not_rewritten():
+    out = rewrite_action_code("send(x, counter=1, papa=2)", SELF_NAMES | {"send"})
+    assert "counter=1" in out
+    assert "papa=2" in out
+    assert "self.send(" in out
+
+
+def test_attribute_access_not_rewritten():
+    out = rewrite_action_code("obj.counter = papa.delay", SELF_NAMES)
+    assert "obj.counter" in out
+    assert "self.papa.delay" in out
+
+
+def test_context_names_rewritten():
+    out = rewrite_action_code("if field('x') == source:\n    quash = True",
+                              SELF_NAMES)
+    assert "__ctx.field('x')" in out
+    assert "__ctx.source" in out
+    assert "__ctx.quash = True" in out
+
+
+def test_strings_and_comments_untouched():
+    code = 's = "papa lives here"  # counter in a comment'
+    out = rewrite_action_code(code, SELF_NAMES)
+    assert '"papa lives here"' in out
+    assert "# counter in a comment" in out
+
+
+def test_locals_untouched():
+    out = rewrite_action_code("temp = 1\ntemp = temp + 1", SELF_NAMES)
+    assert "self" not in out
+
+
+def test_keywords_never_rewritten():
+    out = rewrite_action_code("for papa in [1]:\n    pass", SELF_NAMES)
+    assert "for self.papa in" in out  # loop var is a state name: rewritten by design
+    assert "pass" in out
+
+
+def test_indentation_preserved():
+    code = "if counter:\n    if papa:\n        state_change('x')"
+    out = rewrite_action_code(code, SELF_NAMES)
+    assert "        self.state_change('x')" in out
+
+
+def test_empty_body_becomes_pass():
+    assert normalize_action_code("   \n  ") == "pass"
+    assert rewrite_action_code("", SELF_NAMES) == "pass"
+
+
+def test_untokenizable_body_raises():
+    with pytest.raises(CodegenError):
+        rewrite_action_code("def broken(:\n", SELF_NAMES, context="test")

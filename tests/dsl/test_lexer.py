@@ -1,0 +1,105 @@
+"""Tests for the mac-file lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsl.errors import MacSyntaxError
+from repro.dsl.lexer import EOF, IDENT, NUMBER, PUNCT, STRING, Lexer
+
+
+def tokens_of(text):
+    lexer = Lexer(text)
+    out = []
+    while not lexer.at_eof():
+        out.append(lexer.next())
+    return out
+
+
+def test_basic_token_kinds():
+    tokens = tokens_of('protocol overcast 42 3.5 "hello" { } ; | ! ( ) =')
+    kinds = [token.kind for token in tokens]
+    assert kinds[:2] == [IDENT, IDENT]
+    assert kinds[2] == NUMBER and tokens[2].value == "42"
+    assert kinds[3] == NUMBER and tokens[3].value == "3.5"
+    assert kinds[4] == STRING and tokens[4].value == "hello"
+    assert all(kind == PUNCT for kind in kinds[5:])
+
+
+def test_comments_are_skipped():
+    text = """
+    // a line comment
+    protocol x  # hash comment
+    /* block
+       comment */ addressing ip
+    """
+    values = [token.value for token in tokens_of(text)]
+    assert values == ["protocol", "x", "addressing", "ip"]
+
+
+def test_line_numbers_tracked():
+    lexer = Lexer("protocol x\naddressing ip\n")
+    assert lexer.next().line == 1
+    assert lexer.next().line == 1
+    assert lexer.next().line == 2
+
+
+def test_unterminated_comment_and_string():
+    with pytest.raises(MacSyntaxError):
+        tokens_of("/* never closed")
+    with pytest.raises(MacSyntaxError):
+        tokens_of('"never closed')
+
+
+def test_unexpected_character():
+    with pytest.raises(MacSyntaxError):
+        tokens_of("protocol @")
+
+
+def test_expect_helpers():
+    lexer = Lexer("protocol x { }")
+    lexer.expect_ident("protocol")
+    lexer.expect_ident()
+    lexer.expect_punct("{")
+    assert not lexer.accept_punct(";")
+    assert lexer.accept_punct("}")
+    assert lexer.at_eof()
+    with pytest.raises(MacSyntaxError):
+        Lexer("foo").expect_ident("bar")
+    with pytest.raises(MacSyntaxError):
+        Lexer("foo").expect_punct("{")
+
+
+def test_raw_block_with_nested_braces_strings_and_comments():
+    code = """{
+        d = {"a": 1, "b": {2: 3}}
+        s = "a } in a string"
+        # a } in a comment
+        if d:
+            pass
+    }"""
+    lexer = Lexer(code)
+    body, line = lexer.read_raw_block()
+    assert '"a": 1' in body
+    assert "a } in a string" in body
+    assert "a } in a comment" in body
+    assert line == 1
+    assert lexer.at_eof()
+
+
+def test_raw_block_honours_peeked_open_brace():
+    lexer = Lexer("{ pass }")
+    assert lexer.peek().is_punct("{")
+    body, _ = lexer.read_raw_block()
+    assert body.strip() == "pass"
+
+
+def test_raw_block_unterminated():
+    with pytest.raises(MacSyntaxError):
+        Lexer("{ if x:").read_raw_block()
+
+
+def test_raw_block_triple_quoted_string():
+    lexer = Lexer('{ s = """doc { with braces }""" }')
+    body, _ = lexer.read_raw_block()
+    assert "doc { with braces }" in body

@@ -1,0 +1,160 @@
+"""Tests for the mac-file parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsl.errors import MacSyntaxError
+from repro.dsl.parser import parse_mac
+
+MINIMAL = """
+protocol demo
+addressing ip
+trace_med
+
+constants { LIMIT = 3; RATE = 2.5; NAME = "x"; }
+
+states { joining; joined; }
+
+neighbor_types {
+    parentt 1 { double delay; }
+    childrenn LIMIT { double delay; ipaddr list backups; }
+}
+
+transports { TCP CONTROL; UDP BEST_EFFORT; }
+
+messages {
+    CONTROL join { ipaddr joiner; }
+    BEST_EFFORT ping { }
+    unbound_msg { int x; }
+}
+
+state_variables {
+    fail_detect parentt papa;
+    childrenn kids;
+    int counter = 7;
+    double ratio;
+    timer ticker 2.0;
+    timer oneshot;
+    map table;
+    list items;
+}
+
+transitions {
+    any API init {
+        state_change("joined")
+    }
+
+    joining recv join [locking read;] {
+        pass
+    }
+
+    !(joining|init) timer ticker {
+        counter = counter + 1
+    }
+
+    joined forward ping {
+        quash = True
+    }
+}
+
+routines {
+    def helper(self, x):
+        return x + 1
+}
+"""
+
+
+def test_parse_headers_and_sections():
+    spec = parse_mac(MINIMAL, "demo.mac")
+    assert spec.name == "demo"
+    assert spec.base is None
+    assert spec.addressing == "ip"
+    assert spec.trace == "med"
+    assert spec.constant_map() == {"LIMIT": 3, "RATE": 2.5, "NAME": "x"}
+    assert spec.states == ["joining", "joined"]
+    assert [t.name for t in spec.transports] == ["CONTROL", "BEST_EFFORT"]
+    assert spec.source_file == "demo.mac"
+
+
+def test_parse_neighbor_types_and_fields():
+    spec = parse_mac(MINIMAL)
+    parent = spec.neighbor_type("parentt")
+    children = spec.neighbor_type("childrenn")
+    assert parent.max_size == 1
+    assert children.max_size == "LIMIT"
+    assert [field.name for field in children.fields] == ["delay", "backups"]
+    assert children.fields[1].is_list
+
+
+def test_parse_messages():
+    spec = parse_mac(MINIMAL)
+    join = spec.message("join")
+    assert join.transport == "CONTROL"
+    assert join.fields[0].name == "joiner"
+    assert spec.message("unbound_msg").transport is None
+
+
+def test_parse_state_variables():
+    spec = parse_mac(MINIMAL)
+    kinds = {var.name: var.kind for var in spec.state_vars}
+    assert kinds == {"papa": "neighbor_set", "kids": "neighbor_set",
+                     "counter": "var", "ratio": "var", "ticker": "timer",
+                     "oneshot": "timer", "table": "map", "items": "list"}
+    by_name = {var.name: var for var in spec.state_vars}
+    assert by_name["papa"].fail_detect
+    assert not by_name["kids"].fail_detect
+    assert by_name["counter"].default == 7
+    assert by_name["ticker"].period == 2.0
+    assert by_name["oneshot"].period is None
+
+
+def test_parse_transitions():
+    spec = parse_mac(MINIMAL)
+    assert len(spec.transitions) == 4
+    init, join, ticker, fwd = spec.transitions
+    assert (init.kind, init.name, init.state_expr, init.locking) == \
+        ("api", "init", "any", "write")
+    assert (join.kind, join.name, join.locking) == ("recv", "join", "read")
+    assert ticker.state_expr == "!(joining|init)"
+    assert fwd.kind == "forward"
+    assert "quash = True" in fwd.code
+
+
+def test_parse_routines():
+    spec = parse_mac(MINIMAL)
+    assert len(spec.routines) == 1
+    assert "def helper" in spec.routines[0].code
+
+
+def test_uses_header_and_auxiliary_data_spelling():
+    text = """
+    protocol scribe uses pastry
+    addressing hash
+    auxiliary data { int x; }
+    transitions { any API init { pass } }
+    """
+    spec = parse_mac(text)
+    assert spec.base == "pastry"
+    assert spec.state_vars[0].name == "x"
+
+
+def test_lines_of_code_ignores_comments_and_blanks():
+    spec = parse_mac(MINIMAL)
+    counted = spec.lines_of_code()
+    assert 0 < counted < len(MINIMAL.splitlines())
+
+
+@pytest.mark.parametrize("text", [
+    "addressing ip",                                    # missing protocol header
+    "protocol x addressing nowhere",                    # bad addressing
+    "protocol x trace_insane",                          # bad trace level
+    "protocol x states { joined }",                     # missing semicolon
+    "protocol x transports { XTP FAST; }",              # unknown transport kind
+    "protocol x transitions { any API init }",          # missing body
+    "protocol x transitions { any blorp foo { pass } }",  # bad event keyword
+    "protocol x unknown_section { }",
+])
+def test_syntax_errors(text):
+    with pytest.raises(MacSyntaxError):
+        parse_mac(text)

@@ -1,0 +1,150 @@
+"""Tests for semantic validation of mac specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsl.errors import MacValidationError
+from repro.dsl.parser import parse_mac
+from repro.dsl.validator import validate
+
+VALID = """
+protocol demo
+addressing ip
+states { joined; }
+transports { TCP CONTROL; }
+messages { CONTROL hello { int x; } }
+state_variables { timer tick 1.0; int count; }
+transitions {
+    any API init { pass }
+    joined recv hello { pass }
+    joined timer tick { pass }
+}
+"""
+
+
+def check(text):
+    spec = parse_mac(text)
+    validate(spec)
+    return spec
+
+
+def test_valid_spec_passes():
+    check(VALID)
+
+
+def expect_invalid(text, needle=""):
+    # Some inconsistencies are caught while parsing, the rest during
+    # validation; both surface as MacError subclasses.
+    from repro.dsl.errors import MacError
+
+    with pytest.raises(MacError) as excinfo:
+        validate(parse_mac(text))
+    if needle:
+        assert needle in str(excinfo.value)
+
+
+def test_duplicate_state():
+    expect_invalid("protocol x states { a; a; }", "declared twice")
+
+
+def test_redeclared_init_state():
+    expect_invalid("protocol x states { init; }", "implicit")
+
+
+def test_unknown_state_in_transition():
+    expect_invalid("""
+    protocol x states { a; }
+    transitions { b API init { pass } }
+    """, "state expression")
+
+
+def test_transition_for_undeclared_message():
+    expect_invalid("""
+    protocol x states { a; }
+    transitions { a recv nothere { pass } }
+    """, "undeclared message")
+
+
+def test_transition_for_undeclared_timer():
+    expect_invalid("""
+    protocol x states { a; }
+    transitions { a timer nothere { pass } }
+    """, "undeclared timer")
+
+
+def test_unknown_api_name():
+    expect_invalid("""
+    protocol x states { a; }
+    transitions { a API frobnicate { pass } }
+    """, "unknown API")
+
+
+def test_message_bound_to_undeclared_transport():
+    expect_invalid("""
+    protocol x states { a; }
+    transports { TCP CONTROL; }
+    messages { FAST hello { } }
+    """, "undeclared transport")
+
+
+def test_layered_protocol_must_not_declare_transports():
+    expect_invalid("""
+    protocol x uses pastry
+    states { a; }
+    transports { TCP CONTROL; }
+    """, "lowest layer")
+
+
+def test_neighbor_set_of_unknown_type():
+    expect_invalid("""
+    protocol x states { a; }
+    state_variables { mysterious papa; }
+    """, "undeclared neighbor type")
+
+
+def test_neighbor_max_size_constant_must_resolve():
+    expect_invalid("""
+    protocol x states { a; }
+    neighbor_types { kids MISSING { } }
+    """, "unknown constant")
+
+
+def test_fail_detect_only_on_neighbor_sets():
+    expect_invalid("""
+    protocol x states { a; }
+    state_variables { fail_detect int c; }
+    """)
+
+
+def test_state_variable_name_collision_with_runtime():
+    expect_invalid("""
+    protocol x states { a; }
+    state_variables { int state; }
+    """, "collides")
+
+
+def test_python_keyword_rejected():
+    expect_invalid("""
+    protocol x states { a; }
+    state_variables { int lambda; }
+    """, "keyword")
+
+
+def test_empty_transition_body_rejected():
+    expect_invalid("""
+    protocol x states { a; }
+    transitions { a API init {   } }
+    """, "empty body")
+
+
+def test_self_layering_rejected():
+    expect_invalid("protocol x uses x states { a; }")
+
+
+def test_duplicate_message_field():
+    expect_invalid("""
+    protocol x states { a; }
+    transports { TCP C; }
+    messages { C m { int a; int a; } }
+    """, "declared twice")

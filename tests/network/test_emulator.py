@@ -1,0 +1,132 @@
+"""Tests for the packet-level network emulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.addressing import AddressError, format_address, parse_address
+from repro.network.emulator import NetworkEmulator
+from repro.network.links import DirectedLink, LinkDropped
+from repro.network.packet import HEADER_BYTES, Packet
+from repro.network.topology import dumbbell_topology, transit_stub_topology
+from repro.runtime.engine import Simulator
+
+
+def test_address_formatting_roundtrip():
+    assert parse_address(format_address(167772161)) == 167772161
+    with pytest.raises(AddressError):
+        parse_address("1.2.3")
+    with pytest.raises(AddressError):
+        parse_address("1.2.3.999")
+    with pytest.raises(AddressError):
+        format_address(-1)
+
+
+def test_attach_hosts_and_send_packet():
+    simulator = Simulator(seed=1)
+    emulator = NetworkEmulator(simulator, transit_stub_topology(4, seed=1))
+    a = emulator.attach_host()
+    b = emulator.attach_host()
+    received = []
+    emulator.set_receive_callback(b.address, received.append)
+    packet = Packet(src=a.address, dst=b.address, payload="hi", size=100)
+    assert emulator.send(packet)
+    simulator.run()
+    assert len(received) == 1
+    assert received[0].payload == "hi"
+    assert received[0].hops >= 1
+    assert emulator.stats.packets_delivered == 1
+    # Delivery latency at least the propagation latency.
+    assert simulator.now >= emulator.ip_latency(a.address, b.address)
+
+
+def test_unknown_host_rejected():
+    simulator = Simulator(seed=1)
+    emulator = NetworkEmulator(simulator, transit_stub_topology(4, seed=1))
+    a = emulator.attach_host()
+    with pytest.raises(AddressError):
+        emulator.send(Packet(src=a.address, dst=999, payload=None, size=10))
+
+
+def test_random_loss():
+    simulator = Simulator(seed=2)
+    emulator = NetworkEmulator(simulator, transit_stub_topology(4, seed=2),
+                               random_loss_rate=1.0)
+    a = emulator.attach_host()
+    b = emulator.attach_host()
+    assert not emulator.send(Packet(src=a.address, dst=b.address, payload=None, size=10))
+    assert emulator.stats.packets_dropped == 1
+    with pytest.raises(ValueError):
+        NetworkEmulator(simulator, transit_stub_topology(4, seed=2),
+                        random_loss_rate=1.5)
+
+
+def test_bottleneck_queue_drops_under_overload():
+    simulator = Simulator(seed=3)
+    topology = dumbbell_topology(clients_per_side=1, bottleneck_bandwidth=10_000.0)
+    emulator = NetworkEmulator(simulator, topology, max_queue_delay=0.2)
+    a = emulator.attach_host()
+    b = emulator.attach_host(topology.clients[1])
+    accepted = sum(
+        1 for _ in range(200)
+        if emulator.send(Packet(src=a.address, dst=b.address, payload=None, size=1400))
+    )
+    assert accepted < 200
+    assert emulator.stats.packets_dropped > 0
+
+
+def test_transmission_delay_scales_with_size():
+    simulator = Simulator(seed=4)
+    topology = dumbbell_topology(clients_per_side=1, bottleneck_bandwidth=125_000.0)
+    emulator = NetworkEmulator(simulator, topology)
+    a = emulator.attach_host(topology.clients[0])
+    b = emulator.attach_host(topology.clients[1])
+    arrival = {}
+    emulator.set_receive_callback(b.address, lambda p: arrival.setdefault(p.packet_id, simulator.now))
+    small = Packet(src=a.address, dst=b.address, payload=None, size=100)
+    emulator.send(small)
+    simulator.run()
+    small_time = simulator.now
+    big = Packet(src=a.address, dst=b.address, payload=None, size=10_000)
+    start = simulator.now
+    emulator.send(big)
+    simulator.run()
+    assert (simulator.now - start) > small_time * 1.5
+
+
+def test_link_stress_accounting():
+    simulator = Simulator(seed=5)
+    emulator = NetworkEmulator(simulator, transit_stub_topology(4, seed=5))
+    a = emulator.attach_host()
+    b = emulator.attach_host()
+    for _ in range(3):
+        emulator.send(Packet(src=a.address, dst=b.address, payload=None, size=10),
+                      payload_tag="pkt-1")
+    simulator.run()
+    stresses = [view.max_stress for view in emulator.link_stats().values()]
+    assert max(stresses) == 3
+
+
+def test_directed_link_queue_and_drop():
+    link = DirectedLink(src=0, dst=1, latency=0.01, bandwidth=1000.0,
+                        max_queue_delay=0.15)
+    first = link.transit_time(0.0, 100)
+    assert first == pytest.approx(0.01 + 0.1)
+    # Second packet queues behind the first (0.1 s backlog, still accepted).
+    second = link.transit_time(0.0, 100)
+    assert second > first
+    # Third packet would see 0.2 s of backlog, beyond the queue bound.
+    with pytest.raises(LinkDropped):
+        link.transit_time(0.0, 100)
+    assert link.stats.drops == 1
+    assert link.stats.packets == 2
+
+
+def test_packet_wire_size_and_retransmit_copy():
+    packet = Packet(src=1, dst=2, payload="x", size=100)
+    assert packet.wire_size == 100 + HEADER_BYTES
+    clone = packet.copy_for_retransmit()
+    assert clone.packet_id != packet.packet_id
+    assert clone.size == packet.size
+    with pytest.raises(ValueError):
+        Packet(src=1, dst=2, payload=None, size=-5)

@@ -1,0 +1,78 @@
+"""Tests for FSM state expressions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.stateexpr import StateExprError, parse_state_expr
+
+STATES = ["joining", "joined", "probing", "probed"]
+
+
+def test_any_matches_everything():
+    expr = parse_state_expr("any", STATES)
+    assert expr.match_any
+    for state in STATES + ["init"]:
+        assert expr.matches(state)
+
+
+def test_single_state():
+    expr = parse_state_expr("joining", STATES)
+    assert expr.matches("joining")
+    assert not expr.matches("joined")
+
+
+def test_alternation_with_and_without_parentheses():
+    for text in ("joining|init", "(joining|init)"):
+        expr = parse_state_expr(text, STATES)
+        assert expr.matches("joining")
+        assert expr.matches("init")
+        assert not expr.matches("joined")
+
+
+def test_negation():
+    expr = parse_state_expr("!(joining|init)", STATES)
+    assert not expr.matches("joining")
+    assert not expr.matches("init")
+    assert expr.matches("joined")
+    assert expr.matches("probing")
+
+
+def test_negated_single_state():
+    expr = parse_state_expr("!joined", STATES)
+    assert not expr.matches("joined")
+    assert expr.matches("probing")
+
+
+def test_unknown_state_rejected_when_known_states_given():
+    with pytest.raises(StateExprError):
+        parse_state_expr("flying", STATES)
+    # Without a validation list, unknown names are allowed.
+    expr = parse_state_expr("flying")
+    assert expr.matches("flying")
+
+
+@pytest.mark.parametrize("bad", ["", "|", "a||b", "(a|b", "a|b)", "!(", "!any",
+                                 "a b", "a|", "(", ")"])
+def test_malformed_expressions_rejected(bad):
+    with pytest.raises(StateExprError):
+        parse_state_expr(bad, STATES + ["a", "b"])
+
+
+def test_init_always_allowed():
+    expr = parse_state_expr("init", STATES)
+    assert expr.matches("init")
+
+
+@given(st.lists(st.sampled_from(STATES), min_size=1, max_size=4, unique=True),
+       st.booleans(), st.sampled_from(STATES + ["init"]))
+def test_membership_semantics(names, negated, probe):
+    text = "|".join(names)
+    if negated:
+        text = f"!({text})"
+    expr = parse_state_expr(text, STATES)
+    expected = probe in names
+    if negated:
+        expected = not expected
+    assert expr.matches(probe) == expected

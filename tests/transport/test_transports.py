@@ -1,0 +1,185 @@
+"""Tests for the transport subsystem (UDP, TCP, SWP, and the demux)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.emulator import NetworkEmulator
+from repro.network.topology import dumbbell_topology, transit_stub_topology
+from repro.runtime.engine import Simulator
+from repro.transport import (
+    AimdWindow,
+    FixedWindow,
+    TransportError,
+    TransportHost,
+    TransportKind,
+)
+
+
+def make_pair(*, loss=0.0, bottleneck=None, seed=1):
+    simulator = Simulator(seed=seed)
+    if bottleneck is None:
+        topology = transit_stub_topology(4, seed=seed)
+    else:
+        topology = dumbbell_topology(clients_per_side=1,
+                                     bottleneck_bandwidth=bottleneck)
+    emulator = NetworkEmulator(simulator, topology, random_loss_rate=loss)
+    a = emulator.attach_host()
+    b = emulator.attach_host()
+    host_a = TransportHost(simulator, emulator, a.address)
+    host_b = TransportHost(simulator, emulator, b.address)
+    return simulator, host_a, host_b, a.address, b.address
+
+
+def collect(host):
+    sink = []
+    host.set_deliver_upcall(lambda src, payload, size, name: sink.append((src, payload, size, name)))
+    return sink
+
+
+@pytest.mark.parametrize("kind", [TransportKind.UDP, TransportKind.TCP, TransportKind.SWP])
+def test_basic_delivery_all_kinds(kind):
+    simulator, host_a, host_b, addr_a, addr_b = make_pair()
+    host_a.declare(kind, "X")
+    host_b.declare(kind, "X")
+    received = collect(host_b)
+    collect(host_a)
+    host_a.send("X", addr_b, {"n": 1}, 200)
+    simulator.run(until=10)
+    assert len(received) == 1
+    src, payload, size, name = received[0]
+    assert src == addr_a and payload == {"n": 1} and size == 200 and name == "X"
+
+
+def test_udp_loses_packets_without_recovery():
+    simulator, host_a, host_b, _, addr_b = make_pair(loss=0.5, seed=7)
+    host_a.declare(TransportKind.UDP, "U")
+    host_b.declare(TransportKind.UDP, "U")
+    received = collect(host_b)
+    collect(host_a)
+    for index in range(100):
+        host_a.send("U", addr_b, index, 100)
+    simulator.run(until=30)
+    assert 0 < len(received) < 100
+
+
+def test_tcp_recovers_from_loss():
+    simulator, host_a, host_b, _, addr_b = make_pair(loss=0.15, seed=8)
+    host_a.declare(TransportKind.TCP, "T")
+    host_b.declare(TransportKind.TCP, "T")
+    received = collect(host_b)
+    collect(host_a)
+    for index in range(30):
+        host_a.send("T", addr_b, index, 200)
+    simulator.run(until=600)
+    assert len(received) == 30
+    transport = host_a.get("T")
+    assert transport.stats.retransmissions > 0
+
+
+def test_swp_recovers_from_loss():
+    simulator, host_a, host_b, _, addr_b = make_pair(loss=0.2, seed=9)
+    host_a.declare(TransportKind.SWP, "S")
+    host_b.declare(TransportKind.SWP, "S")
+    received = collect(host_b)
+    collect(host_a)
+    for index in range(30):
+        host_a.send("S", addr_b, index, 200)
+    simulator.run(until=300)
+    assert len(received) == 30
+
+
+def test_tcp_in_order_delivery():
+    simulator, host_a, host_b, _, addr_b = make_pair(loss=0.15, seed=10)
+    host_a.declare(TransportKind.TCP, "T")
+    host_b.declare(TransportKind.TCP, "T")
+    received = collect(host_b)
+    collect(host_a)
+    for index in range(40):
+        host_a.send("T", addr_b, index, 150)
+    simulator.run(until=300)
+    payloads = [payload for _, payload, _, _ in received]
+    assert payloads == sorted(payloads)
+
+
+def test_large_message_fragmentation_and_reassembly():
+    simulator, host_a, host_b, _, addr_b = make_pair(seed=11)
+    host_a.declare(TransportKind.TCP, "T")
+    host_b.declare(TransportKind.TCP, "T")
+    received = collect(host_b)
+    collect(host_a)
+    host_a.send("T", addr_b, "big", 10_000)
+    simulator.run(until=60)
+    assert len(received) == 1
+    assert received[0][2] == 10_000
+    assert host_a.get("T").stats.segments_sent > 5
+
+
+def test_aimd_window_behaviour():
+    window = AimdWindow(initial_window=2.0, ssthresh=8.0)
+    for _ in range(10):
+        window.on_ack(1)
+    assert window.cwnd > 8.0          # passed slow start into congestion avoidance
+    before = window.cwnd
+    window.on_timeout()
+    assert window.cwnd == 1.0
+    assert window.ssthresh == pytest.approx(max(before / 2, 2.0))
+    window.on_fast_retransmit()
+    assert window.cwnd <= before
+
+
+def test_fixed_window_never_adapts():
+    window = FixedWindow(window_size=4)
+    window.on_ack(10)
+    window.on_timeout()
+    assert window.window() == 4.0
+
+
+def test_congestion_limits_throughput_on_bottleneck():
+    simulator, host_a, host_b, _, addr_b = make_pair(bottleneck=50_000.0, seed=12)
+    host_a.declare(TransportKind.TCP, "T")
+    host_b.declare(TransportKind.TCP, "T")
+    received = collect(host_b)
+    collect(host_a)
+    for index in range(100):
+        host_a.send("T", addr_b, index, 1400)
+    simulator.run(until=5.0)
+    delivered_bytes = sum(size for _, _, size, _ in received)
+    # 50 kB/s bottleneck for ~5 s cannot deliver much more than ~250 kB.
+    assert delivered_bytes <= 300_000
+    assert delivered_bytes > 0
+
+
+def test_demux_rejects_duplicate_and_unknown_names():
+    simulator, host_a, host_b, _, addr_b = make_pair(seed=13)
+    host_a.declare(TransportKind.TCP, "T")
+    with pytest.raises(TransportError):
+        host_a.declare(TransportKind.UDP, "T")
+    with pytest.raises(TransportError):
+        host_a.send("UNKNOWN", addr_b, None, 10)
+    assert "T" in host_a
+    assert host_a.names == ["T"]
+
+
+def test_default_transport_created_on_demand():
+    simulator, host_a, host_b, _, addr_b = make_pair(seed=14)
+    transport = host_a.ensure_default()
+    host_b.ensure_default()
+    received = collect(host_b)
+    collect(host_a)
+    host_a.send(host_a.DEFAULT_TRANSPORT, addr_b, "x", 10)
+    simulator.run(until=10)
+    assert transport.kind == TransportKind.TCP
+    assert len(received) == 1
+
+
+def test_queued_bytes_reporting():
+    simulator, host_a, host_b, _, addr_b = make_pair(bottleneck=10_000.0, seed=15)
+    host_a.declare(TransportKind.TCP, "T")
+    host_b.declare(TransportKind.TCP, "T")
+    collect(host_b)
+    collect(host_a)
+    for index in range(50):
+        host_a.send("T", addr_b, index, 1400)
+    assert host_a.get("T").queued_bytes(addr_b) > 0
+    assert host_a.get("T").connection_count() == 1
