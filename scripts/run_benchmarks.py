@@ -1,0 +1,318 @@
+#!/usr/bin/env python
+"""Run the simulation-core microbenchmarks and record results in BENCH_core.json.
+
+Two hot paths are measured:
+
+* **kernel** — events/second through :class:`repro.runtime.engine.Simulator`,
+  both the handle-returning ``schedule()`` path and (when available) the
+  fire-and-forget ``schedule_fast()`` path;
+* **emulator** — packets/second through a ~600-node transit-stub
+  :class:`repro.network.emulator.NetworkEmulator`, i.e. the full
+  ``send() -> per-link transit -> deliver`` pipeline that every figure
+  reproduction funnels through.
+
+A deterministic *fingerprint* workload (fixed seed, fixed traffic schedule)
+is also run; its delivery/latency metrics must be byte-identical across
+refactors of the core, which is how perf PRs prove they did not change
+simulation semantics.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_benchmarks.py --label "my change"
+
+Each invocation appends one timestamped entry to ``BENCH_core.json`` (see
+docs/PERFORMANCE.md for the schema).  Pass ``--output -`` to print the entry
+without touching the file, or ``--quick`` for a fast smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import configparser
+import json
+import platform
+import random
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.network.emulator import NetworkEmulator  # noqa: E402
+from repro.network.packet import Packet  # noqa: E402
+from repro.network.topology import transit_stub_topology  # noqa: E402
+from repro.runtime.engine import Simulator  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+#: Defaults, overridable by the ``[repro:bench]`` section of setup.cfg and
+#: then by command-line flags.
+BENCH_DEFAULTS = {
+    "kernel_events": 200_000,
+    "emulator_hosts": 600,
+    "emulator_packets": 100_000,
+    "neighbors_per_host": 8,
+    "results_file": "BENCH_core.json",
+}
+
+
+def load_bench_config() -> dict:
+    """Benchmark defaults merged with the [repro:bench] section of setup.cfg."""
+    config = dict(BENCH_DEFAULTS)
+    parser = configparser.ConfigParser()
+    parser.read(REPO_ROOT / "setup.cfg")
+    if parser.has_section("repro:bench"):
+        section = parser["repro:bench"]
+        for key in ("kernel_events", "emulator_hosts", "emulator_packets",
+                    "neighbors_per_host"):
+            if key in section:
+                config[key] = section.getint(key)
+        if "results_file" in section:
+            config["results_file"] = section["results_file"]
+    return config
+
+
+# --------------------------------------------------------------------- kernel
+def bench_kernel(num_events: int = 200_000) -> dict:
+    """Events/second through the discrete-event kernel.
+
+    Schedules *num_events* no-op callbacks at pseudo-random offsets and drains
+    the queue.  Measured twice: once through ``schedule()`` (handle per event)
+    and once through ``schedule_fast()`` when the kernel provides it.
+    """
+    rng = random.Random(12345)
+    delays = [rng.random() * 100.0 for _ in range(num_events)]
+
+    def noop() -> None:
+        pass
+
+    def timed(schedule_one) -> float:
+        simulator = Simulator(seed=1)
+        sched = schedule_one(simulator)
+        start = time.perf_counter()
+        for delay in delays:
+            sched(delay, noop)
+        simulator.run()
+        return time.perf_counter() - start
+
+    handle_seconds = timed(lambda sim: sim.schedule)
+    fast = getattr(Simulator, "schedule_fast", None)
+    fast_seconds = timed(lambda sim: sim.schedule_fast) if fast else handle_seconds
+    return {
+        "events": num_events,
+        "seconds": round(fast_seconds, 6),
+        "events_per_sec": round(num_events / fast_seconds),
+        "handle_seconds": round(handle_seconds, 6),
+        "events_with_handles_per_sec": round(num_events / handle_seconds),
+        "has_schedule_fast": fast is not None,
+    }
+
+
+# ------------------------------------------------------------------- emulator
+def bench_emulator(num_hosts: int = 600, num_packets: int = 100_000,
+                   neighbors_per_host: int = 8) -> dict:
+    """Packets/second through a transit-stub emulator at ~ModelNet scale.
+
+    Hosts are attached to a *num_hosts*-client transit-stub topology; each
+    host is given *neighbors_per_host* fixed pseudo-random overlay neighbours
+    and a *num_packets* traffic matrix cycles over those (src, neighbour)
+    pairs — the steady-state regime of every figure reproduction, where the
+    same overlay edges carry packet after packet.  The measured phase covers
+    ``send()`` (routing, the per-link queue walk) plus event dispatch and
+    delivery.
+    """
+    simulator = Simulator(seed=2)
+    topology = transit_stub_topology(num_hosts, seed=2)
+    emulator = NetworkEmulator(simulator, topology)
+
+    attach_start = time.perf_counter()
+    addresses = [emulator.attach_host().address for _ in range(num_hosts)]
+    attach_seconds = time.perf_counter() - attach_start
+
+    rng = random.Random(99)
+    neighbors = []
+    for src in range(num_hosts):
+        chosen = rng.sample([h for h in range(num_hosts) if h != src],
+                            neighbors_per_host)
+        neighbors.append(chosen)
+    pairs = []
+    for index in range(num_packets):
+        src = index % num_hosts
+        dst = neighbors[src][(index // num_hosts) % neighbors_per_host]
+        pairs.append((addresses[src], addresses[dst]))
+
+    delivered = 0
+
+    def on_receive(packet: Packet) -> None:
+        nonlocal delivered
+        delivered += 1
+
+    for address in addresses:
+        emulator.set_receive_callback(address, on_receive)
+
+    # Spread injections over simulated time so link queues drain between
+    # bursts; 20 packets share each injection instant.
+    def inject(offset: int) -> None:
+        send = emulator.send
+        for src, dst in pairs[offset:offset + 20]:
+            send(Packet(src, dst, None, 200))
+
+    start = time.perf_counter()
+    for offset in range(0, num_packets, 20):
+        simulator.schedule((offset // 20) * 0.001, inject, offset)
+    simulator.run()
+    seconds = time.perf_counter() - start
+    return {
+        "hosts": num_hosts,
+        "packets": num_packets,
+        "seconds": round(seconds, 6),
+        "packets_per_sec": round(num_packets / seconds),
+        "delivered": delivered,
+        "dropped": emulator.stats.packets_dropped,
+        "attach_seconds": round(attach_seconds, 6),
+    }
+
+
+# ---------------------------------------------------------------- fingerprint
+def metrics_fingerprint(seed: int = 7, num_hosts: int = 64,
+                        num_packets: int = 2_000) -> dict:
+    """Deterministic delivery/latency metrics for a fixed-seed experiment.
+
+    Every field must be identical run-to-run and across refactors of the
+    engine/emulator hot path; floats are recorded via ``repr`` so the
+    comparison is byte-exact.
+    """
+    simulator = Simulator(seed=seed)
+    topology = transit_stub_topology(num_hosts, seed=seed)
+    emulator = NetworkEmulator(simulator, topology, random_loss_rate=0.01)
+    addresses = [emulator.attach_host().address for _ in range(num_hosts)]
+
+    latencies: list[float] = []
+
+    def on_receive(packet: Packet) -> None:
+        latencies.append(simulator.now - packet.created_at)
+
+    for address in addresses:
+        emulator.set_receive_callback(address, on_receive)
+
+    rng = simulator.fork_rng("bench-traffic")
+
+    def send_one(src: int, dst: int, size: int) -> None:
+        emulator.send(Packet(src=src, dst=dst, payload=None, size=size),
+                      payload_tag=f"probe-{size % 7}")
+
+    for index in range(num_packets):
+        src = rng.randrange(num_hosts)
+        dst = rng.randrange(num_hosts)
+        if dst == src:
+            dst = (dst + 1) % num_hosts
+        size = rng.randint(100, 1400)
+        simulator.schedule(index * 0.005, send_one,
+                           addresses[src], addresses[dst], size)
+    simulator.run()
+
+    stress = max((view.max_stress for view in emulator.link_stats().values()),
+                 default=0)
+    return {
+        "packets_sent": emulator.stats.packets_sent,
+        "packets_delivered": emulator.stats.packets_delivered,
+        "packets_dropped": emulator.stats.packets_dropped,
+        "bytes_delivered": emulator.stats.bytes_delivered,
+        "events_processed": simulator.events_processed,
+        "final_time": repr(simulator.now),
+        "latency_count": len(latencies),
+        "latency_sum": repr(sum(latencies)),
+        "max_link_stress": stress,
+    }
+
+
+# -------------------------------------------------------------------- output
+def git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def load_results(path: Path) -> dict:
+    if path.exists():
+        document = json.loads(path.read_text(encoding="utf-8"))
+        if document.get("schema_version") != SCHEMA_VERSION:
+            raise SystemExit(f"{path} has unsupported schema_version "
+                             f"{document.get('schema_version')!r}")
+        return document
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "description": ("Simulation-core microbenchmark history; one entry "
+                        "appended per scripts/run_benchmarks.py invocation. "
+                        "See docs/PERFORMANCE.md for the schema."),
+        "entries": [],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    config = load_bench_config()
+    # allow_abbrev=False: a typo'd --event must not silently run (and pollute
+    # the recorded history) as --events.
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0],
+                                     allow_abbrev=False)
+    parser.add_argument("--label", default="", help="free-form entry label")
+    parser.add_argument("--output",
+                        default=str(REPO_ROOT / config["results_file"]),
+                        help="results file to append to, or '-' for stdout only")
+    parser.add_argument("--events", type=int, default=config["kernel_events"],
+                        help="kernel microbench event count")
+    parser.add_argument("--hosts", type=int, default=config["emulator_hosts"],
+                        help="emulator microbench host count")
+    parser.add_argument("--packets", type=int,
+                        default=config["emulator_packets"],
+                        help="emulator microbench packet count")
+    parser.add_argument("--neighbors", type=int,
+                        default=config["neighbors_per_host"],
+                        help="overlay neighbours per host in the emulator bench")
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for a smoke run")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.events, args.hosts, args.packets = 20_000, 100, 3_000
+
+    # Validate the results file before spending ~a minute benchmarking.
+    document = load_results(Path(args.output)) if args.output != "-" else None
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "label": args.label,
+        "git_rev": git_rev(),
+        "python": platform.python_version(),
+        "kernel": bench_kernel(args.events),
+        "emulator": bench_emulator(args.hosts, args.packets, args.neighbors),
+        "fingerprint": metrics_fingerprint(),
+    }
+
+    print(json.dumps(entry, indent=2))
+    if document is not None:
+        path = Path(args.output)
+        previous = document["entries"][0] if document["entries"] else None
+        document["entries"].append(entry)
+        path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        print(f"\nappended entry #{len(document['entries'])} to {path}")
+        if previous is not None:
+            kernel_speedup = (entry["kernel"]["events_per_sec"]
+                              / previous["kernel"]["events_per_sec"])
+            emulator_speedup = (entry["emulator"]["packets_per_sec"]
+                                / previous["emulator"]["packets_per_sec"])
+            same = entry["fingerprint"] == previous["fingerprint"]
+            print(f"vs entry #1 ({previous['label'] or 'baseline'}): "
+                  f"kernel {kernel_speedup:.2f}x, emulator {emulator_speedup:.2f}x, "
+                  f"fingerprint {'IDENTICAL' if same else 'CHANGED'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

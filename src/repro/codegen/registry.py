@@ -15,6 +15,7 @@ hand to :class:`~repro.runtime.node.MacedonNode`.
 
 from __future__ import annotations
 
+import difflib
 import sys
 import types
 from dataclasses import replace as dataclass_replace
@@ -81,9 +82,31 @@ class ProtocolRegistry:
     def spec_path(self, name: str) -> Path:
         path = self.specs_dir / f"{name}.mac"
         if not path.exists():
-            raise MacError(f"no specification named {name!r} in {self.specs_dir} "
-                           f"(available: {self.available()})")
+            raise MacError(self._missing_spec_message(name))
         return path
+
+    def _missing_spec_message(self, name: str) -> str:
+        """A diagnosis for a missing spec: where we looked, the closest match,
+        and how to register a new one."""
+        lines = [f"no specification named {name!r}",
+                 f"specs directory: {self.specs_dir}"]
+        if not self.specs_dir.is_dir():
+            lines.append("the specs directory does not exist")
+        else:
+            available = self.available()
+            if available:
+                close = difflib.get_close_matches(name, available, n=3)
+                if close:
+                    lines.append(f"did you mean: {', '.join(close)}?")
+                lines.append(f"available specs: {', '.join(available)}")
+            else:
+                lines.append("the specs directory contains no .mac files")
+        lines.append(
+            f"to register a new protocol, save its specification as "
+            f"{self.specs_dir / (name + '.mac')} (or construct "
+            f"ProtocolRegistry(specs_dir=...) pointing at your own directory)"
+        )
+        return "; ".join(lines)
 
     def load_spec(self, name: str) -> ProtocolSpec:
         """Parse and validate the named bundled specification (cached)."""

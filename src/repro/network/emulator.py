@@ -7,6 +7,13 @@ path, accumulating transmission, queueing, and propagation delay at every
 link, and is delivered (or dropped) at the destination via the simulator's
 event queue.
 
+``send()`` is the hottest function in the repository after the event loop
+itself, so the per-hop work is precomputed: the first packet between a pair
+of attachment routers resolves the route into a :class:`_ResolvedRoute` — the
+:class:`DirectedLink` objects in hop order plus the shared path tuple — and
+every subsequent packet replays that plan with zero dict lookups per hop, no
+path copy, and no label formatting.  See docs/PERFORMANCE.md.
+
 The emulator also doubles as the source of the *global knowledge* the paper's
 evaluation framework extracts from ModelNet/ns: direct IP latency between any
 two hosts, the underlay path of any overlay edge, and per-link traffic
@@ -15,13 +22,12 @@ counters used for link-stress metrics.
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from ..runtime.engine import Simulator
 from .addressing import AddressAllocator, AddressError, HostAddress
-from .links import DirectedLink, LinkDropped
+from .links import DirectedLink
 from .packet import Packet
 from .router import Router
 from .topology import BANDWIDTH_ATTR, LATENCY_ATTR, Topology
@@ -45,15 +51,33 @@ class EmulatorStats:
         return self.packets_dropped / self.packets_sent
 
 
-@dataclass
 class Host:
     """A host attached to the emulated network."""
 
-    address: HostAddress
-    receive: Optional[ReceiveCallback] = None
-    #: Per-host delivery counters, handy in tests.
-    delivered: int = 0
-    dropped: int = 0
+    __slots__ = ("address", "node", "receive", "delivered", "dropped")
+
+    def __init__(self, address: HostAddress,
+                 receive: Optional[ReceiveCallback] = None) -> None:
+        self.address = address
+        #: Topology attachment point, denormalised from ``address`` so the
+        #: send path reads one attribute instead of two.
+        self.node = address.topology_node
+        self.receive = receive
+        #: Per-host delivery counters, handy in tests.
+        self.delivered = 0
+        self.dropped = 0
+
+
+class _ResolvedRoute:
+    """A route plan with the per-hop links resolved to objects."""
+
+    __slots__ = ("links", "path", "hop_count")
+
+    def __init__(self, links: tuple[DirectedLink, ...],
+                 path: tuple[int, ...]) -> None:
+        self.links = links
+        self.path = path
+        self.hop_count = len(links)
 
 
 class NetworkEmulator:
@@ -77,45 +101,64 @@ class NetworkEmulator:
         self._allocator = AddressAllocator()
         self._hosts: dict[int, Host] = {}
         self._links: dict[tuple[int, int], DirectedLink] = {}
+        # Resolved (src router, dst router) -> _ResolvedRoute plans.
+        self._routes: dict[tuple[int, int], _ResolvedRoute] = {}
+        # O(1)-amortised auto-attachment: nodes already hosting someone, and a
+        # cursor over ``topology.clients`` marking how far allocation got.
+        self._used_attachments: set[int] = set()
+        self._client_cursor = 0
         self._max_queue_delay = max_queue_delay
         self.stats = EmulatorStats()
+        # Bound-method caches for the per-packet path (skips one descriptor
+        # lookup per send and per delivery).
+        self._schedule_fast = simulator.schedule_fast
+        self._deliver_callback = self._deliver
         self._build_links()
+        # Keep our resolved plans and link table in sync even when callers
+        # invalidate at the router level rather than through us.
+        self.router.add_invalidation_listener(self._on_router_invalidated)
 
     # ------------------------------------------------------------------ setup
     def _build_links(self) -> None:
         for u, v, data in self.topology.graph.edges(data=True):
             latency = data[LATENCY_ATTR]
             bandwidth = data[BANDWIDTH_ATTR]
-            self._links[(u, v)] = DirectedLink(
-                src=u, dst=v, latency=latency, bandwidth=bandwidth,
-                max_queue_delay=self._max_queue_delay,
-            )
-            self._links[(v, u)] = DirectedLink(
-                src=v, dst=u, latency=latency, bandwidth=bandwidth,
-                max_queue_delay=self._max_queue_delay,
-            )
+            if (u, v) not in self._links:
+                self._links[(u, v)] = DirectedLink(
+                    src=u, dst=v, latency=latency, bandwidth=bandwidth,
+                    max_queue_delay=self._max_queue_delay,
+                )
+            if (v, u) not in self._links:
+                self._links[(v, u)] = DirectedLink(
+                    src=v, dst=u, latency=latency, bandwidth=bandwidth,
+                    max_queue_delay=self._max_queue_delay,
+                )
 
     def attach_host(self, topology_node: Optional[int] = None,
                     receive: Optional[ReceiveCallback] = None) -> HostAddress:
         """Attach a new host and return its address.
 
         If *topology_node* is None, the next unused client attachment point is
-        used (in the order the topology generator listed them).
+        used (in the order the topology generator listed them).  Attaching N
+        hosts is O(N + num_clients) total: a cursor walks the client list once
+        instead of rebuilding the used-set per call.
         """
         if topology_node is None:
-            used = {host.address.topology_node for host in self._hosts.values()}
-            for candidate in self.topology.clients:
-                if candidate not in used:
+            clients = self.topology.clients
+            while self._client_cursor < len(clients):
+                candidate = clients[self._client_cursor]
+                if candidate not in self._used_attachments:
                     topology_node = candidate
                     break
+                self._client_cursor += 1
             else:
                 # All dedicated client slots taken: reuse round-robin.
-                clients = self.topology.clients
                 topology_node = clients[len(self._hosts) % len(clients)]
         if topology_node not in self.topology.graph:
             raise AddressError(f"attachment point {topology_node} not in topology")
         address = self._allocator.allocate(topology_node)
         self._hosts[address.address] = Host(address=address, receive=receive)
+        self._used_attachments.add(topology_node)
         return address
 
     def set_receive_callback(self, address: int, receive: ReceiveCallback) -> None:
@@ -131,6 +174,34 @@ class NetworkEmulator:
     def hosts(self) -> list[HostAddress]:
         return [host.address for host in self._hosts.values()]
 
+    # ------------------------------------------------------------------ routes
+    def _route(self, src_node: int, dst_node: int) -> _ResolvedRoute:
+        """The resolved (links + path) plan between two attachment routers."""
+        key = (src_node, dst_node)
+        route = self._routes.get(key)
+        if route is None:
+            plan = self.router.plan(src_node, dst_node)
+            links = self._links
+            route = _ResolvedRoute(tuple(links[edge] for edge in plan.edges),
+                                   plan.path)
+            self._routes[key] = route
+        return route
+
+    def invalidate(self) -> None:
+        """Drop cached routes after a topology mutation.
+
+        Clears the emulator's resolved route plans and the router's Dijkstra
+        and plan caches, then registers links for any edges added to the
+        topology graph (existing links keep their queue state and counters).
+        Calling ``router.invalidate()`` directly is equivalent — the emulator
+        listens for it.
+        """
+        self.router.invalidate()
+
+    def _on_router_invalidated(self) -> None:
+        self._routes.clear()
+        self._build_links()
+
     # ------------------------------------------------------------------ send
     def send(self, packet: Packet, payload_tag: Optional[str] = None) -> bool:
         """Inject *packet* into the network.
@@ -139,35 +210,56 @@ class NetworkEmulator:
         ``False`` if it was dropped (queue overflow or random loss).  Delivery
         happens asynchronously via the simulator.
         """
-        src_host = self._host(packet.src)
-        dst_host = self._host(packet.dst)
-        packet.created_at = self.simulator.now
-        self.stats.packets_sent += 1
+        hosts = self._hosts
+        src_host = hosts.get(packet.src)
+        dst_host = hosts.get(packet.dst)
+        if src_host is None or dst_host is None:
+            missing = packet.src if src_host is None else packet.dst
+            raise AddressError(f"unknown host address {missing}")
+        # Direct read of the simulator clock (the .now property costs a
+        # descriptor call per packet).
+        now = self.simulator._now
+        packet.created_at = now
+        stats = self.stats
+        stats.packets_sent += 1
 
         if self.random_loss_rate and self._rng.random() < self.random_loss_rate:
-            self.stats.packets_dropped += 1
+            stats.packets_dropped += 1
             dst_host.dropped += 1
             return False
 
-        path = self.router.path(src_host.address.topology_node,
-                                dst_host.address.topology_node)
-        packet.path = tuple(path)
+        route = self._routes.get((src_host.node, dst_host.node))
+        if route is None:
+            route = self._route(src_host.node, dst_host.node)
+        packet.path = route.path
+        wire_size = packet.wire_size
         total_delay = 0.0
-        now = self.simulator.now
-        for u, v in zip(path[:-1], path[1:]):
-            link = self._links[(u, v)]
-            try:
-                # Queue state is advanced at submission time; this approximates
-                # store-and-forward pipelining well enough for our metrics.
-                total_delay += link.transit_time(now + total_delay,
-                                                 packet.wire_size, payload_tag)
-            except LinkDropped:
-                self.stats.packets_dropped += 1
+        for link in route.links:
+            # Inlined DirectedLink.try_transit — one method call per hop is
+            # measurable at 100k+ packets/sec, and this loop must stay
+            # float-op-for-float-op identical to it (same delay accumulation
+            # order) so fixed-seed metrics do not drift.
+            hop_now = now + total_delay
+            queue_delay = link.next_free - hop_now
+            if queue_delay < 0.0:
+                queue_delay = 0.0
+            if queue_delay > link.max_queue_delay:
+                link.drops += 1
+                stats.packets_dropped += 1
                 dst_host.dropped += 1
                 return False
-        packet.hops = max(0, len(path) - 1)
-        self.simulator.schedule(total_delay, self._deliver, packet,
-                                label=f"deliver:{packet.protocol}")
+            transmission = wire_size / link.bandwidth
+            link.next_free = hop_now + queue_delay + transmission
+            link.packets += 1
+            link.bytes += wire_size
+            if payload_tag is not None:
+                payloads = link.overlay_payloads
+                payloads[payload_tag] = payloads.get(payload_tag, 0) + 1
+            # Queue state is advanced at submission time; this approximates
+            # store-and-forward pipelining well enough for our metrics.
+            total_delay += queue_delay + transmission + link.latency
+        packet.hops = route.hop_count
+        self._schedule_fast(total_delay, self._deliver_callback, packet)
         return True
 
     def _deliver(self, packet: Packet) -> None:
@@ -176,29 +268,26 @@ class NetworkEmulator:
             # Host detached while the packet was in flight.
             self.stats.packets_dropped += 1
             return
-        self.stats.packets_delivered += 1
-        self.stats.bytes_delivered += packet.size
+        stats = self.stats
+        stats.packets_delivered += 1
+        stats.bytes_delivered += packet.size
         host.delivered += 1
-        if host.receive is not None:
-            host.receive(packet)
+        receive = host.receive
+        if receive is not None:
+            receive(packet)
 
     # --------------------------------------------------------- global queries
     def ip_latency(self, src: int, dst: int) -> float:
         """One-way propagation latency between two *host addresses* (seconds)."""
-        a = self._host(src).address.topology_node
-        b = self._host(dst).address.topology_node
-        return self.router.latency(a, b)
+        return self.router.latency(self._host(src).node, self._host(dst).node)
 
     def ip_path(self, src: int, dst: int) -> list[int]:
         """Underlay router path between two host addresses."""
-        a = self._host(src).address.topology_node
-        b = self._host(dst).address.topology_node
-        return self.router.path(a, b)
+        return self.router.path(self._host(src).node, self._host(dst).node)
 
     def bottleneck_bandwidth(self, src: int, dst: int) -> float:
-        a = self._host(src).address.topology_node
-        b = self._host(dst).address.topology_node
-        return self.router.bottleneck_bandwidth(a, b)
+        return self.router.bottleneck_bandwidth(self._host(src).node,
+                                                self._host(dst).node)
 
     def link_stats(self) -> dict[tuple[int, int], "LinkStatsView"]:
         """Per-directed-link traffic counters (for link-stress metrics)."""
@@ -213,16 +302,16 @@ class LinkStatsView:
 
     @property
     def packets(self) -> int:
-        return self._link.stats.packets
+        return self._link.packets
 
     @property
     def bytes(self) -> int:
-        return self._link.stats.bytes
+        return self._link.bytes
 
     @property
     def drops(self) -> int:
-        return self._link.stats.drops
+        return self._link.drops
 
     @property
     def max_stress(self) -> int:
-        return self._link.stats.max_stress
+        return self._link.max_stress

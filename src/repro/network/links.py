@@ -13,11 +13,18 @@ free; the queueing delay seen by an arriving packet is the gap between that
 time and "now".  This fluid approximation of a FIFO queue is accurate for the
 metrics the evaluation framework reports (latency, delivered bandwidth, link
 stress) and is what lets thousands of nodes run on one machine.
+
+Links sit on the per-packet, per-hop hot path, so :class:`DirectedLink` is a
+flat ``__slots__`` object with its traffic counters stored directly on the
+link (no nested stats object to dereference per hop), and the common no-drop
+case goes through :meth:`DirectedLink.try_transit`, which signals a drop by
+returning a negative sentinel instead of raising (:class:`LinkDropped` costs
+an exception per drop and a ``try`` frame per hop on paths that do not drop).
+``link.stats`` remains available as a live view for tests and metrics code.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
 
@@ -25,19 +32,78 @@ class LinkDropped(Exception):
     """Internal signal: the packet was dropped at this link."""
 
 
-@dataclass
 class LinkStats:
-    """Counters the evaluation framework reads for link-stress style metrics."""
+    """Live view over one link's counters.
 
-    packets: int = 0
-    bytes: int = 0
-    drops: int = 0
-    #: Duplicate transmissions of the same overlay payload (link stress numerator).
-    overlay_payloads: dict[str, int] = field(default_factory=dict)
+    Kept for API compatibility (``link.stats.packets`` etc.); the counters
+    themselves live flat on :class:`DirectedLink` so the per-hop hot path
+    touches one object, not two.
+    """
+
+    __slots__ = ("_link",)
+
+    def __init__(self, link: "DirectedLink") -> None:
+        self._link = link
+
+    @property
+    def packets(self) -> int:
+        return self._link.packets
+
+    @property
+    def bytes(self) -> int:
+        return self._link.bytes
+
+    @property
+    def drops(self) -> int:
+        return self._link.drops
+
+    @property
+    def overlay_payloads(self) -> dict[str, int]:
+        """Duplicate transmissions of the same overlay payload (link stress numerator)."""
+        return self._link.overlay_payloads
 
     def record_payload(self, tag: Optional[str]) -> None:
         if tag is not None:
-            self.overlay_payloads[tag] = self.overlay_payloads.get(tag, 0) + 1
+            payloads = self._link.overlay_payloads
+            payloads[tag] = payloads.get(tag, 0) + 1
+
+    @property
+    def max_stress(self) -> int:
+        """Maximum number of times any single overlay payload crossed this link."""
+        return self._link.max_stress
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        link = self._link
+        return (f"LinkStats(packets={link.packets}, bytes={link.bytes}, "
+                f"drops={link.drops})")
+
+
+class DirectedLink:
+    """One direction of an edge in the topology."""
+
+    __slots__ = ("src", "dst", "latency", "bandwidth", "max_queue_delay",
+                 "next_free", "packets", "bytes", "drops", "overlay_payloads")
+
+    def __init__(self, src: int, dst: int, latency: float, bandwidth: float,
+                 max_queue_delay: float = 0.5, next_free: float = 0.0) -> None:
+        self.src = src
+        self.dst = dst
+        self.latency = latency
+        self.bandwidth = bandwidth
+        #: Maximum queueing delay (seconds of backlog) before drop-tail loss.
+        self.max_queue_delay = max_queue_delay
+        #: Simulated time at which the transmitter becomes free.
+        self.next_free = next_free
+        # Traffic counters the evaluation framework reads (via ``stats``).
+        self.packets = 0
+        self.bytes = 0
+        self.drops = 0
+        self.overlay_payloads: dict[str, int] = {}
+
+    @property
+    def stats(self) -> LinkStats:
+        """Live view over this link's counters."""
+        return LinkStats(self)
 
     @property
     def max_stress(self) -> int:
@@ -46,39 +112,48 @@ class LinkStats:
             return 0
         return max(self.overlay_payloads.values())
 
+    def try_transit(self, now: float, wire_size: int,
+                    payload_tag: Optional[str] = None) -> float:
+        """Total time for a packet of *wire_size* bytes to cross this link.
 
-@dataclass
-class DirectedLink:
-    """One direction of an edge in the topology."""
+        Updates the link's queue state and statistics.  Returns a negative
+        value (and records the drop) if the packet would overflow the queue —
+        the fast-path equivalent of :meth:`transit_time` raising
+        :class:`LinkDropped`.
 
-    src: int
-    dst: int
-    latency: float
-    bandwidth: float
-    #: Maximum queueing delay (seconds of backlog) before drop-tail loss.
-    max_queue_delay: float = 0.5
-    #: Simulated time at which the transmitter becomes free.
-    next_free: float = 0.0
-    stats: LinkStats = field(default_factory=LinkStats)
+        NetworkEmulator.send inlines this logic; the two must stay
+        float-op-for-float-op identical.
+        """
+        queue_delay = self.next_free - now
+        if queue_delay < 0.0:
+            queue_delay = 0.0
+        if queue_delay > self.max_queue_delay:
+            self.drops += 1
+            return -1.0
+        transmission = wire_size / self.bandwidth
+        self.next_free = now + queue_delay + transmission
+        self.packets += 1
+        self.bytes += wire_size
+        if payload_tag is not None:
+            payloads = self.overlay_payloads
+            payloads[payload_tag] = payloads.get(payload_tag, 0) + 1
+        return queue_delay + transmission + self.latency
 
     def transit_time(self, now: float, wire_size: int,
                      payload_tag: Optional[str] = None) -> float:
-        """Total time for a packet of *wire_size* bytes to cross this link.
+        """Exception-raising form of :meth:`try_transit`.
 
-        Updates the link's queue state and statistics.  Raises
-        :class:`LinkDropped` if the packet would overflow the queue.
+        Raises :class:`LinkDropped` if the packet would overflow the queue.
         """
-        transmission = wire_size / self.bandwidth
-        queue_delay = max(0.0, self.next_free - now)
-        if queue_delay > self.max_queue_delay:
-            self.stats.drops += 1
+        total = self.try_transit(now, wire_size, payload_tag)
+        if total < 0.0:
             raise LinkDropped()
-        self.next_free = now + queue_delay + transmission
-        self.stats.packets += 1
-        self.stats.bytes += wire_size
-        self.stats.record_payload(payload_tag)
-        return queue_delay + transmission + self.latency
+        return total
 
     def utilization(self, now: float) -> float:
         """Instantaneous backlog on this link, in seconds of transmission time."""
         return max(0.0, self.next_free - now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DirectedLink({self.src}->{self.dst}, latency={self.latency}, "
+                f"bandwidth={self.bandwidth})")

@@ -4,12 +4,15 @@ A packet is the unit the emulator queues, delays, and drops.  The payload is
 opaque to the network layer — transports put their own segments inside — but
 the size in bytes is what drives transmission delay and queue occupancy, as in
 a hop-by-hop emulator such as ModelNet.
+
+``Packet`` is allocated once per simulated packet, so it is a flat
+``__slots__`` class; ``wire_size`` is precomputed at construction because the
+emulator reads it once per hop.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 #: Fixed per-packet header overhead (IP + transport headers), in bytes.
@@ -18,29 +21,30 @@ HEADER_BYTES = 40
 _packet_ids = itertools.count(1)
 
 
-@dataclass
 class Packet:
     """A network-layer packet in flight between two hosts."""
 
-    src: int
-    dst: int
-    payload: Any
-    size: int
-    protocol: str = "udp"
-    created_at: float = 0.0
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
-    hops: int = 0
-    #: Filled in by the emulator: topology path the packet followed.
-    path: Optional[tuple[int, ...]] = None
+    __slots__ = ("src", "dst", "payload", "size", "protocol", "created_at",
+                 "packet_id", "hops", "path", "wire_size")
 
-    def __post_init__(self) -> None:
-        if self.size < 0:
+    def __init__(self, src: int, dst: int, payload: Any, size: int,
+                 protocol: str = "udp", created_at: float = 0.0,
+                 packet_id: Optional[int] = None, hops: int = 0,
+                 path: Optional[tuple[int, ...]] = None) -> None:
+        if size < 0:
             raise ValueError("packet payload size cannot be negative")
-
-    @property
-    def wire_size(self) -> int:
-        """Bytes the packet occupies on a link (payload plus headers)."""
-        return self.size + HEADER_BYTES
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size = size
+        self.protocol = protocol
+        self.created_at = created_at
+        self.packet_id = packet_id if packet_id is not None else next(_packet_ids)
+        self.hops = hops
+        #: Filled in by the emulator: topology path the packet followed.
+        self.path = path
+        #: Bytes the packet occupies on a link (payload plus headers).
+        self.wire_size = size + HEADER_BYTES
 
     def copy_for_retransmit(self) -> "Packet":
         """A fresh packet (new id, zero hops) carrying the same payload."""

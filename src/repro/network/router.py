@@ -5,6 +5,14 @@ between the source and destination attachment routers, the same policy a
 ModelNet core applies.  Routes are computed lazily (single-source Dijkstra per
 distinct source router) and cached, which keeps large topologies affordable.
 
+On top of the per-source Dijkstra cache sits a per-(src, dst) **route plan**
+cache: one :class:`RoutePlan` holding the resolved node path, directed edge
+list, end-to-end propagation latency, hop count, and bottleneck bandwidth.
+Every query method (:meth:`Router.path`, :meth:`Router.latency`,
+:meth:`Router.hop_count`, :meth:`Router.bottleneck_bandwidth`) reads the plan,
+so repeated queries for the same pair — the per-packet common case — cost one
+dict lookup instead of re-walking Dijkstra output.
+
 The router is also the component the evaluation framework queries for *global*
 information — direct IP latency between any two hosts and the underlay path a
 packet takes — which the paper highlights as necessary for metrics such as
@@ -13,10 +21,8 @@ latency stretch, relative delay penalty, and link stress.
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Optional
-
-import networkx as nx
+from heapq import heappop, heappush
+from typing import Callable, Optional
 
 from .topology import BANDWIDTH_ATTR, LATENCY_ATTR, Topology
 
@@ -25,66 +31,173 @@ class RoutingError(RuntimeError):
     """Raised when no route exists between two attachment points."""
 
 
+class RoutePlan:
+    """Resolved route between one (src, dst) router pair.
+
+    ``latency`` is the Dijkstra distance (not a re-summation of edge weights),
+    so it is bit-identical to what the shortest-path search reported.  The
+    bottleneck bandwidth is computed lazily on first access — most plans are
+    built by the packet send path, which never reads it.
+    """
+
+    __slots__ = ("path", "edges", "latency", "hop_count", "_bottleneck")
+
+    def __init__(self, path: tuple[int, ...], edges: tuple[tuple[int, int], ...],
+                 latency: float) -> None:
+        self.path = path
+        self.edges = edges
+        self.latency = latency
+        self.hop_count = len(edges)
+        self._bottleneck: Optional[float] = None
+
+
 class Router:
     """Latency-weighted shortest-path routing with per-source caching."""
 
     def __init__(self, topology: Topology) -> None:
         self._topology = topology
         self._graph = topology.graph
-        # Cache of single-source Dijkstra results: source -> (dist, paths).
-        self._sssp_cache: dict[int, tuple[dict[int, float], dict[int, list[int]]]] = {}
+        # Flat adjacency (node -> [(neighbour, latency), ...]) built lazily
+        # from the graph; Dijkstra over this is several times faster than
+        # going through networkx per-edge attribute access.
+        self._adjacency: Optional[dict[int, list[tuple[int, float]]]] = None
+        # Cache of single-source Dijkstra results: source -> (dist, pred).
+        self._sssp_cache: dict[int, tuple[dict[int, float], dict[int, Optional[int]]]] = {}
+        # Cache of resolved plans: (src, dst) -> RoutePlan.
+        self._plan_cache: dict[tuple[int, int], RoutePlan] = {}
+        # Callbacks fired by invalidate(); components that cache resolved
+        # routes derived from this router (the emulator) register here so a
+        # router-level invalidation cannot leave them holding stale plans.
+        self._invalidation_listeners: list[Callable[[], None]] = []
 
     @property
     def topology(self) -> Topology:
         return self._topology
 
     # ----------------------------------------------------------------- paths
-    def _sssp(self, source: int) -> tuple[dict[int, float], dict[int, list[int]]]:
+    def _adj(self) -> dict[int, list[tuple[int, float]]]:
+        adjacency = self._adjacency
+        if adjacency is None:
+            adjacency = self._adjacency = {
+                node: [(neighbour, data[LATENCY_ATTR])
+                       for neighbour, data in neighbours.items()]
+                for node, neighbours in self._graph.adj.items()
+            }
+        return adjacency
+
+    def _dijkstra(self, source: int) -> tuple[dict[int, float], dict[int, Optional[int]]]:
+        """Single-source shortest paths over the flat adjacency.
+
+        Replicates networkx's ``_dijkstra_multisource`` exactly — same float
+        accumulation (``dist[v] + edge_latency``), same insertion-counter tie
+        breaking, same first-seen-wins behaviour on equal distances — so the
+        distances and predecessor choices are bit-identical to what earlier
+        revisions obtained through networkx.  That equivalence is what keeps
+        fixed-seed experiment metrics stable across the fast path, and is
+        pinned by tests/network/test_topology_router.py.
+        """
+        adjacency = self._adj()
+        if source not in adjacency:
+            raise RoutingError(f"source {source} not in topology")
+        dist: dict[int, float] = {}
+        pred: dict[int, Optional[int]] = {source: None}
+        seen: dict[int, float] = {source: 0}
+        seen_get = seen.get
+        tie = 0
+        fringe: list[tuple[float, int, int]] = [(0, tie, source)]
+        while fringe:
+            d, _, v = heappop(fringe)
+            if v in dist:
+                continue
+            dist[v] = d
+            for u, edge_latency in adjacency[v]:
+                if u in dist:
+                    continue
+                vu_dist = d + edge_latency
+                seen_u = seen_get(u)
+                if seen_u is None or vu_dist < seen_u:
+                    seen[u] = vu_dist
+                    tie += 1
+                    heappush(fringe, (vu_dist, tie, u))
+                    pred[u] = v
+        return dist, pred
+
+    def _sssp(self, source: int) -> tuple[dict[int, float], dict[int, Optional[int]]]:
         cached = self._sssp_cache.get(source)
         if cached is None:
-            dist, paths = nx.single_source_dijkstra(
-                self._graph, source, weight=LATENCY_ATTR
-            )
-            cached = (dist, paths)
+            cached = self._dijkstra(source)
             self._sssp_cache[source] = cached
         return cached
 
+    def plan(self, src_node: int, dst_node: int) -> RoutePlan:
+        """The cached :class:`RoutePlan` from *src_node* to *dst_node*."""
+        key = (src_node, dst_node)
+        cached = self._plan_cache.get(key)
+        if cached is None:
+            cached = self._build_plan(src_node, dst_node)
+            self._plan_cache[key] = cached
+        return cached
+
+    def _build_plan(self, src_node: int, dst_node: int) -> RoutePlan:
+        if src_node == dst_node:
+            return RoutePlan((src_node,), (), 0.0)
+        dist, pred = self._sssp(src_node)
+        latency = dist.get(dst_node)
+        if latency is None:
+            raise RoutingError(f"no route from {src_node} to {dst_node}")
+        nodes = [dst_node]
+        node: Optional[int] = pred[dst_node]
+        while node is not None:
+            nodes.append(node)
+            node = pred[node]
+        nodes.reverse()
+        path = tuple(nodes)
+        edges = tuple(zip(path[:-1], path[1:]))
+        return RoutePlan(path, edges, latency)
+
     def path(self, src_node: int, dst_node: int) -> list[int]:
         """Topology path (list of router ids) from *src_node* to *dst_node*."""
-        if src_node == dst_node:
-            return [src_node]
-        dist, paths = self._sssp(src_node)
-        try:
-            return paths[dst_node]
-        except KeyError as exc:
-            raise RoutingError(f"no route from {src_node} to {dst_node}") from exc
+        return list(self.plan(src_node, dst_node).path)
 
     def latency(self, src_node: int, dst_node: int) -> float:
         """One-way propagation latency of the shortest path, in seconds."""
-        if src_node == dst_node:
-            return 0.0
-        dist, _ = self._sssp(src_node)
-        try:
-            return dist[dst_node]
-        except KeyError as exc:
-            raise RoutingError(f"no route from {src_node} to {dst_node}") from exc
+        return self.plan(src_node, dst_node).latency
 
     def path_edges(self, src_node: int, dst_node: int) -> list[tuple[int, int]]:
         """The directed edges traversed along the path."""
-        nodes = self.path(src_node, dst_node)
-        return list(zip(nodes[:-1], nodes[1:]))
+        return list(self.plan(src_node, dst_node).edges)
 
     def bottleneck_bandwidth(self, src_node: int, dst_node: int) -> float:
         """Minimum link bandwidth along the path (bytes/second)."""
-        edges = self.path_edges(src_node, dst_node)
-        if not edges:
-            return float("inf")
-        return min(self._graph.edges[u, v][BANDWIDTH_ATTR] for u, v in edges)
+        plan = self.plan(src_node, dst_node)
+        bottleneck = plan._bottleneck
+        if bottleneck is None:
+            if plan.edges:
+                graph_edges = self._graph.edges
+                bottleneck = min(graph_edges[u, v][BANDWIDTH_ATTR]
+                                 for u, v in plan.edges)
+            else:
+                bottleneck = float("inf")
+            plan._bottleneck = bottleneck
+        return bottleneck
 
     def hop_count(self, src_node: int, dst_node: int) -> int:
         """Number of links on the latency-shortest path."""
-        return max(0, len(self.path(src_node, dst_node)) - 1)
+        return self.plan(src_node, dst_node).hop_count
+
+    def add_invalidation_listener(self, callback: Callable[[], None]) -> None:
+        """Register *callback* to run whenever :meth:`invalidate` is called."""
+        self._invalidation_listeners.append(callback)
 
     def invalidate(self) -> None:
-        """Drop cached routes (call after mutating the topology)."""
+        """Drop cached routes and plans (call after mutating the topology).
+
+        Also notifies registered listeners, so invalidating the router of a
+        live :class:`~repro.network.emulator.NetworkEmulator` refreshes the
+        emulator's resolved route plans and link table too.
+        """
+        self._adjacency = None
         self._sssp_cache.clear()
+        self._plan_cache.clear()
+        for callback in self._invalidation_listeners:
+            callback()

@@ -11,32 +11,61 @@ The paper's runtime uses thread pools for the timer and transport subsystems;
 here the same event sources are multiplexed onto one deterministic event loop,
 which is what lets the evaluation scale to thousands of overlay nodes on a
 single machine (the role ModelNet plays in the paper).
+
+The kernel is the hottest code in the repository — every simulated packet
+costs at least one heap entry — so the internals favour flat ``__slots__``
+objects and a hand-written comparison over dataclass conveniences.  See
+docs/PERFORMANCE.md for the measured numbers and the rules the fast paths
+must preserve (deterministic (time, seq) ordering above all).
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, Iterable, Optional, Union
+
+#: A label may be a plain string or a zero-argument callable producing one;
+#: callables defer formatting cost until somebody actually reads the label.
+Label = Union[str, Callable[[], str]]
+
+# _Event.state values.  An event leaves the PENDING state exactly once, which
+# is what lets the live-event counter stay O(1): the transition decrements it,
+# and no other code path may.
+_PENDING = 0
+_CANCELLED = 1
+_FIRED = 2
 
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
-class _ScheduledEvent:
-    """Internal heap entry.  Ordering is by time, then insertion sequence."""
+class _Event:
+    """Payload of one heap entry.
 
-    time: float
-    seq: int
-    callback: Callable[..., Any] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    kwargs: dict = field(compare=False, default_factory=dict)
-    cancelled: bool = field(compare=False, default=False)
-    label: str = field(compare=False, default="")
+    The heap itself holds ``(time, seq, event)`` tuples so ordering — by time,
+    then insertion sequence — is resolved by C tuple comparison; ``seq`` is
+    unique, so two entries never compare their ``_Event`` payloads.
+    """
+
+    __slots__ = ("time", "callback", "args", "kwargs", "label", "state")
+
+    def __init__(self, time: float, callback: Callable[..., Any],
+                 args: tuple, kwargs: Optional[dict], label: Label) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        #: ``None`` (not ``{}``) in the common no-kwargs case, so the dispatch
+        #: loop can skip the ``**`` unpacking entirely.
+        self.kwargs = kwargs
+        self.label = label
+        self.state = _PENDING
+
+
+def _resolve_label(label: Label) -> str:
+    return label() if callable(label) else label
 
 
 class EventHandle:
@@ -46,10 +75,11 @@ class EventHandle:
     already fired or been cancelled.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_simulator")
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _Event, simulator: "Simulator") -> None:
         self._event = event
+        self._simulator = simulator
 
     @property
     def time(self) -> float:
@@ -58,15 +88,18 @@ class EventHandle:
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._event.state == _CANCELLED
 
     @property
     def label(self) -> str:
-        return self._event.label
+        return _resolve_label(self._event.label)
 
     def cancel(self) -> None:
         """Cancel the event if it has not fired yet.  Idempotent."""
-        self._event.cancelled = True
+        event = self._event
+        if event.state == _PENDING:
+            event.state = _CANCELLED
+            self._simulator._live -= 1
 
 
 class Simulator:
@@ -83,10 +116,12 @@ class Simulator:
 
     def __init__(self, seed: int = 0) -> None:
         self._now: float = 0.0
-        self._queue: list[_ScheduledEvent] = []
+        self._queue: list[tuple[float, int, _Event]] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
+        #: Number of PENDING (scheduled, not yet fired or cancelled) events.
+        self._live = 0
         self.rng = random.Random(seed)
         self._seed = seed
         self.events_processed = 0
@@ -116,7 +151,7 @@ class Simulator:
         delay: float,
         callback: Callable[..., Any],
         *args: Any,
-        label: str = "",
+        label: Label = "",
         **kwargs: Any,
     ) -> EventHandle:
         """Schedule *callback* to run ``delay`` seconds from now.
@@ -124,26 +159,40 @@ class Simulator:
         Returns an :class:`EventHandle` that can be used to cancel the event.
         A negative delay is an error; a zero delay schedules the callback to
         run after all events already scheduled for the current instant.
+        *label* may be a string or a zero-argument callable (evaluated lazily,
+        only when the label is actually read).
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule event {delay} s in the past")
-        event = _ScheduledEvent(
-            time=self._now + delay,
-            seq=next(self._seq),
-            callback=callback,
-            args=args,
-            kwargs=kwargs,
-            label=label,
-        )
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        time = self._now + delay
+        event = _Event(time, callback, args, kwargs or None, label)
+        self._live += 1
+        heappush(self._queue, (time, next(self._seq), event))
+        return EventHandle(event, self)
+
+    def schedule_fast(self, delay: float, callback: Callable[..., Any],
+                      *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, no kwargs, no label.
+
+        The hot path for packet delivery and other events that are never
+        cancelled or inspected.  Semantically identical to ``schedule`` —
+        same (time, seq) ordering — but skips both handle and ``_Event``
+        construction: the heap entry is a flat ``(time, seq, callback, args)``
+        tuple.  ``seq`` is unique, so mixed 3- and 4-element entries never
+        compare past index 1.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event {delay} s in the past")
+        self._live += 1
+        heappush(self._queue,
+                 (self._now + delay, next(self._seq), callback, args))
 
     def schedule_at(
         self,
         when: float,
         callback: Callable[..., Any],
         *args: Any,
-        label: str = "",
+        label: Label = "",
         **kwargs: Any,
     ) -> EventHandle:
         """Schedule *callback* at absolute simulated time *when*."""
@@ -155,8 +204,8 @@ class Simulator:
 
     # ---------------------------------------------------------------- running
     def pending(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (scheduled, not cancelled) events.  O(1)."""
+        return self._live
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""
@@ -183,27 +232,47 @@ class Simulator:
         self._running = True
         self._stopped = False
         processed = 0
+        queue = self._queue
+        time_limit = float("inf") if until is None else until
+        event_limit = float("inf") if max_events is None else max_events
         try:
-            while self._queue and not self._stopped:
-                event = self._queue[0]
-                if until is not None and event.time > until:
+            while queue and not self._stopped:
+                entry = queue[0]
+                time = entry[0]
+                if time > time_limit:
                     break
-                heapq.heappop(self._queue)
-                if event.cancelled:
-                    continue
-                if event.time < self._now:
-                    raise SimulationError("event queue produced an event in the past")
-                self._now = event.time
-                event.callback(*event.args, **event.kwargs)
-                self.events_processed += 1
+                heappop(queue)
+                if len(entry) == 4:
+                    # Fire-and-forget entry from schedule_fast: uncancellable,
+                    # dispatch straight from the tuple.
+                    if time < self._now:
+                        raise SimulationError("event queue produced an event in the past")
+                    self._live -= 1
+                    self._now = time
+                    entry[2](*entry[3])
+                else:
+                    event = entry[2]
+                    if event.state:  # cancelled; counter already decremented
+                        continue
+                    if time < self._now:
+                        raise SimulationError("event queue produced an event in the past")
+                    event.state = _FIRED
+                    self._live -= 1
+                    self._now = time
+                    kwargs = event.kwargs
+                    if kwargs is None:
+                        event.callback(*event.args)
+                    else:
+                        event.callback(*event.args, **kwargs)
                 processed += 1
-                if max_events is not None and processed >= max_events:
+                if processed >= event_limit:
                     break
             if until is not None and not self._stopped and self._now < until:
                 # Advance the clock even if the queue drained early so callers
                 # can rely on `now >= until` after a bounded run.
                 self._now = until
         finally:
+            self.events_processed += processed
             self._running = False
         return self._now
 
@@ -213,8 +282,18 @@ class Simulator:
 
     # -------------------------------------------------------------- utilities
     def drain_labels(self) -> Iterable[str]:
-        """Labels of pending (non-cancelled) events — useful in tests."""
-        return [event.label for event in self._queue if not event.cancelled]
+        """Labels of pending (non-cancelled) events — useful in tests.
+
+        Fire-and-forget events from :meth:`schedule_fast` carry no label and
+        appear as empty strings.
+        """
+        labels = []
+        for entry in self._queue:
+            if len(entry) == 4:
+                labels.append("")
+            elif entry[2].state == _PENDING:
+                labels.append(_resolve_label(entry[2].label))
+        return labels
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -104,6 +104,9 @@ class Transport(abc.ABC):
         self.stats = TransportStats()
         self._deliver_upcall: Optional[DeliverUpcall] = None
         self._msg_ids = itertools.count(1)
+        # Wire-protocol tag stamped on every outgoing packet; formatted once
+        # here rather than per packet (``kind`` is a property on subclasses).
+        self._protocol_label: Optional[str] = None
 
     # ------------------------------------------------------------------ wiring
     def set_deliver_upcall(self, upcall: DeliverUpcall) -> None:
@@ -118,12 +121,15 @@ class Transport(abc.ABC):
 
     def _send_packet(self, dst: int, segment: Segment, size: int,
                      payload_tag: Optional[str] = None) -> bool:
+        protocol = self._protocol_label
+        if protocol is None:
+            protocol = self._protocol_label = f"{self.kind.value.lower()}:{self.name}"
         packet = Packet(
             src=self.local_address,
             dst=dst,
             payload=segment,
             size=size,
-            protocol=f"{self.kind.value.lower()}:{self.name}",
+            protocol=protocol,
         )
         accepted = self.emulator.send(packet, payload_tag=payload_tag)
         self.stats.segments_sent += 1

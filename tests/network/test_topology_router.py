@@ -92,3 +92,50 @@ def test_topology_always_connected_and_annotated(num_clients, seed):
     topology = transit_stub_topology(num_clients, seed=seed)
     topology.validate()  # raises if disconnected or missing attributes
     assert topology.num_clients == num_clients
+
+
+def test_router_dijkstra_matches_networkx_bit_for_bit():
+    """The hand-rolled Dijkstra must replicate networkx exactly (distances,
+    paths, and tie-breaking), which is what keeps fixed-seed experiment
+    metrics identical across the fast-path rewrite."""
+    import networkx as nx
+
+    for seed in range(3):
+        topology = transit_stub_topology(20, seed=seed)
+        router = Router(topology)
+        for source in list(topology.graph.nodes)[::9]:
+            dist_nx, paths_nx = nx.single_source_dijkstra(
+                topology.graph, source, weight=LATENCY_ATTR)
+            dist, _ = router._sssp(source)
+            assert dist == dist_nx
+            for target in topology.graph.nodes:
+                if target != source:
+                    assert router.path(source, target) == paths_nx[target]
+
+
+def test_router_plan_is_cached_and_consistent():
+    topology = transit_stub_topology(10, seed=7)
+    router = Router(topology)
+    a, b = topology.clients[0], topology.clients[7]
+    plan = router.plan(a, b)
+    assert router.plan(a, b) is plan  # cached object, not recomputed
+    assert list(plan.path) == router.path(a, b)
+    assert plan.hop_count == router.hop_count(a, b)
+    assert plan.latency == router.latency(a, b)
+    assert router.bottleneck_bandwidth(a, b) > 0
+
+
+def test_router_invalidate_picks_up_topology_mutation():
+    from repro.network.topology import BANDWIDTH_ATTR
+
+    topology = transit_stub_topology(6, seed=8)
+    router = Router(topology)
+    a, b = topology.clients[0], topology.clients[5]
+    before = router.path(a, b)
+    assert len(before) > 2
+    # Splice in a direct ultra-low-latency edge; without invalidate() the
+    # cached plan must keep answering, with it the new edge must win.
+    topology.graph.add_edge(a, b, **{LATENCY_ATTR: 1e-6, BANDWIDTH_ATTR: 1e9})
+    assert router.path(a, b) == before
+    router.invalidate()
+    assert router.path(a, b) == [a, b]
