@@ -8,13 +8,16 @@ The qualitative result: the aggressive 1-second static timer converges fastest,
 lsd's dynamic strategy is in between, and the 20-second timer is slowest.
 
 Scaled down here to 60 nodes and ~80 seconds (EXPERIMENTS.md records the
-mapping); the ordering of the three curves is what is asserted.
+mapping); the ordering of the three curves is what is asserted.  Each variant
+is one declarative :class:`ScenarioSpec` — a staggered-join churn model plus
+a sampled convergence series — so the same spec extends to churn/crash
+variants by adding models.
 """
 
 from __future__ import annotations
 
 from repro.baselines import LsdChordAgent
-from repro.eval import ExperimentConfig, OverlayExperiment, average_correct_route_entries
+from repro.eval import ChurnModel, SampleSeries, ScenarioSpec, average_correct_route_entries
 from repro.eval.reports import format_table
 from repro.protocols import chord_agent
 
@@ -23,21 +26,26 @@ SNAPSHOT_INTERVAL = 2.0
 DURATION = 80.0
 
 
-def run_variant(agent_class, protocol_name: str, fix_period: float | None, seed: int):
-    experiment = OverlayExperiment(
-        [agent_class], ExperimentConfig(num_nodes=NUM_NODES, seed=seed,
-                                        convergence_time=DURATION))
-    if fix_period is not None:
-        for node in experiment.nodes:
-            node.agent(protocol_name).fix_period = fix_period
-    experiment.init_all(staggered=0.25)
+def run_variant(agent_factory, protocol_name: str, fix_period: float | None,
+                seed: int):
+    def configure(experiment) -> None:
+        if fix_period is not None:
+            for node in experiment.nodes:
+                node.agent(protocol_name).fix_period = fix_period
 
-    def sample() -> float:
-        return average_correct_route_entries(experiment.nodes, protocol_name)
-
-    series = experiment.sample_over_time(sample, interval=SNAPSHOT_INTERVAL,
-                                         duration=DURATION)
-    return series
+    spec = ScenarioSpec(
+        name=f"fig10-{protocol_name}-{fix_period}",
+        agents=lambda: [agent_factory()],
+        num_nodes=NUM_NODES,
+        duration=DURATION,
+        seed=seed,
+        models=(ChurnModel(join="staggered", join_spacing=0.25),),
+        samples=(SampleSeries(
+            "correct_entries", SNAPSHOT_INTERVAL,
+            lambda exp: average_correct_route_entries(exp.nodes, protocol_name)),),
+        configure=configure,
+    )
+    return spec.run().series["correct_entries"]
 
 
 def area_under(series):
@@ -47,9 +55,9 @@ def area_under(series):
 
 def test_fig10_chord_routing_table_convergence(once):
     def run():
-        fast = run_variant(chord_agent(), "chord", 1.0, seed=101)
-        slow = run_variant(chord_agent(), "chord", 20.0, seed=101)
-        lsd = run_variant(LsdChordAgent(), "lsd_chord", 1.0, seed=101)
+        fast = run_variant(chord_agent, "chord", 1.0, seed=101)
+        slow = run_variant(chord_agent, "chord", 20.0, seed=101)
+        lsd = run_variant(LsdChordAgent, "lsd_chord", 1.0, seed=101)
         return fast, slow, lsd
 
     fast, slow, lsd = once(run)

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Run the bundled Chord specification and inspect the DHT it builds.
 
-Demonstrates: loading a bundled protocol, building an overlay experiment,
-measuring routing-table convergence (the Figure-10 metric), and routing
-application data to the node that owns a key.
+Demonstrates: loading a bundled protocol, describing the run as a
+declarative :class:`ScenarioSpec` (staggered joins + a sampled convergence
+series), and routing application data to the node that owns a key.
 
 Run with:  python examples/chord_dht.py
 """
@@ -11,7 +11,7 @@ Run with:  python examples/chord_dht.py
 from __future__ import annotations
 
 from repro.apps import AppPayload
-from repro.eval import ExperimentConfig, OverlayExperiment, average_correct_route_entries
+from repro.eval import ChurnModel, SampleSeries, ScenarioSpec, average_correct_route_entries
 from repro.eval.reports import format_series
 from repro.protocols import chord_agent
 
@@ -19,23 +19,29 @@ NUM_NODES = 40
 
 
 def main() -> None:
-    experiment = OverlayExperiment(
-        [chord_agent()],
-        ExperimentConfig(num_nodes=NUM_NODES, seed=11, convergence_time=60.0),
+    # The whole experiment — population, join schedule, and the Figure-10
+    # routing-table snapshot series — as one declarative spec.
+    spec = ScenarioSpec(
+        name="chord-convergence",
+        agents=lambda: [chord_agent()],
+        num_nodes=NUM_NODES,
+        duration=60.0,
+        seed=11,
+        models=(ChurnModel(join="staggered", join_spacing=0.25),),
+        samples=(SampleSeries(
+            "correct_entries", 2.0,
+            lambda exp: average_correct_route_entries(exp.nodes, "chord")),),
+        # A 1-second fix-fingers timer (the fast static setting of Figure 10).
+        configure=lambda exp: [setattr(node.agent("chord"), "fix_period", 1.0)
+                               for node in exp.nodes],
     )
-    # Use a 1-second fix-fingers timer (the fast static setting of Figure 10).
-    for node in experiment.nodes:
-        node.agent("chord").fix_period = 1.0
-    experiment.init_all(staggered=0.25)
-
-    # Snapshot routing-table correctness every 2 simulated seconds while nodes join.
-    series = experiment.sample_over_time(
-        lambda: average_correct_route_entries(experiment.nodes, "chord"),
-        interval=2.0, duration=60.0)
+    result = spec.run()
     print(format_series("Chord convergence (correct finger entries, max 32)",
-                        series, x_label="time s", y_label="correct entries"))
+                        result.series["correct_entries"],
+                        x_label="time s", y_label="correct entries"))
 
-    # Route data to the owner of an arbitrary key.
+    # Route data to the owner of an arbitrary key on the converged overlay.
+    experiment = result.experiment
     target = experiment.nodes[7]
     delivered = []
     target.macedon_register_handlers(
@@ -50,8 +56,7 @@ def main() -> None:
     print(f"\nrouted 1000 bytes from node {sender.address} to the owner of "
           f"key {key:#010x}")
     print(f"owner {target.address} delivered: {delivered}")
-    states = experiment.states()
-    print(f"node states: {states}")
+    print(f"node states: {experiment.states()}")
 
 
 if __name__ == "__main__":

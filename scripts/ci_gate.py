@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""No-regression gate over the tier-1 suite.
+
+The seed repository ships without the bundled ``specs/*.mac`` protocol
+suite, so a known set of spec-dependent tests fails until it lands (see
+ROADMAP.md).  Plain ``pytest -x`` would therefore be red on every commit and
+useless as CI.  This gate runs the full suite and compares the failing set
+against the committed baseline in ``tests/known_failures.txt``:
+
+* a failure **not** in the baseline is a regression → exit 1;
+* a baseline entry that now passes is progress → reported, and the baseline
+  should be pruned in the same PR that fixed it.
+
+Usage::
+
+    python scripts/ci_gate.py            # runs pytest, applies the gate
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "tests" / "known_failures.txt"
+
+
+def load_baseline() -> set[str]:
+    lines = BASELINE.read_text(encoding="utf-8").splitlines()
+    return {line.strip() for line in lines
+            if line.strip() and not line.startswith("#")}
+
+
+def run_suite() -> tuple[set[str], str, int]:
+    process = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "--tb=no", "-rfE"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+        env={**__import__("os").environ,
+             "PYTHONPATH": f"{REPO_ROOT / 'src'}"},
+    )
+    output = process.stdout + process.stderr
+    failing = set(re.findall(r"^(?:FAILED|ERROR) (\S+?)(?: - .*)?$",
+                             output, flags=re.MULTILINE))
+    return failing, output, process.returncode
+
+
+def main() -> int:
+    baseline = load_baseline()
+    failing, output, returncode = run_suite()
+    print(output.splitlines()[-1] if output.splitlines() else "(no output)")
+
+    # Exit codes other than 0 (all passed) / 1 (some tests failed) mean
+    # pytest itself blew up — collection error, bad conftest, usage error —
+    # and per-test FAILED/ERROR lines may be absent entirely.  Never let
+    # that read as green.
+    if returncode not in (0, 1):
+        print(f"\npytest exited with code {returncode} (internal/collection "
+              f"error) — failing the gate.  Tail of output:")
+        for line in output.splitlines()[-15:]:
+            print(f"  {line}")
+        return 1
+    passed = re.search(r"(\d+) passed", output)
+    if passed is None or int(passed.group(1)) == 0:
+        print("\nno tests passed — the suite did not actually run; "
+              "failing the gate")
+        return 1
+
+    regressions = sorted(failing - baseline)
+    fixed = sorted(baseline - failing)
+    if fixed:
+        print(f"\n{len(fixed)} baseline failure(s) now pass — prune them "
+              f"from {BASELINE.relative_to(REPO_ROOT)}:")
+        for test in fixed:
+            print(f"  {test}")
+    if regressions:
+        print(f"\nREGRESSION: {len(regressions)} test(s) failing beyond the "
+              f"known baseline:")
+        for test in regressions:
+            print(f"  {test}")
+        return 1
+    print(f"\ngate OK: {len(failing)} failure(s), all in the known baseline "
+          f"({len(baseline)} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

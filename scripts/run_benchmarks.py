@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run the simulation-core microbenchmarks and record results in BENCH_core.json.
 
-Two hot paths are measured:
+Three workloads are measured:
 
 * **kernel** — events/second through :class:`repro.runtime.engine.Simulator`,
   both the handle-returning ``schedule()`` path and (when available) the
@@ -9,12 +9,18 @@ Two hot paths are measured:
 * **emulator** — packets/second through a ~600-node transit-stub
   :class:`repro.network.emulator.NetworkEmulator`, i.e. the full
   ``send() -> per-link transit -> deliver`` pipeline that every figure
-  reproduction funnels through.
+  reproduction funnels through;
+* **scenario_churn** — a full churn scenario (ring DHT, 10% membership
+  cycling, route-probe workload) executed by the scenario engine across
+  three seeds, so churn-path performance (crash/recover, targeted route
+  invalidation, failure detection) is tracked alongside the kernel and
+  emulator numbers.
 
 A deterministic *fingerprint* workload (fixed seed, fixed traffic schedule)
 is also run; its delivery/latency metrics must be byte-identical across
 refactors of the core, which is how perf PRs prove they did not change
-simulation semantics.
+simulation semantics.  The scenario entry records its own fixed-seed
+metrics (lookup success per seed) for the same purpose.
 
 Usage::
 
@@ -22,7 +28,8 @@ Usage::
 
 Each invocation appends one timestamped entry to ``BENCH_core.json`` (see
 docs/PERFORMANCE.md for the schema).  Pass ``--output -`` to print the entry
-without touching the file, or ``--quick`` for a fast smoke run.
+without touching the file, ``--quick`` for a fast smoke run that still
+appends, or ``--smoke`` for the CI form (quick sizes, stdout only).
 """
 
 from __future__ import annotations
@@ -40,10 +47,14 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.eval.runner import ScenarioRunner  # noqa: E402
+from repro.eval.scenario import ChurnModel, ScenarioSpec, WorkloadModel  # noqa: E402
 from repro.network.emulator import NetworkEmulator  # noqa: E402
 from repro.network.packet import Packet  # noqa: E402
 from repro.network.topology import transit_stub_topology  # noqa: E402
+from repro.protocols.ring import ring_agent  # noqa: E402
 from repro.runtime.engine import Simulator  # noqa: E402
+from repro.runtime.failure import FailureDetectorConfig  # noqa: E402
 
 SCHEMA_VERSION = 1
 
@@ -54,6 +65,8 @@ BENCH_DEFAULTS = {
     "emulator_hosts": 600,
     "emulator_packets": 100_000,
     "neighbors_per_host": 8,
+    "scenario_nodes": 20,
+    "scenario_duration": 240,
     "results_file": "BENCH_core.json",
 }
 
@@ -66,7 +79,8 @@ def load_bench_config() -> dict:
     if parser.has_section("repro:bench"):
         section = parser["repro:bench"]
         for key in ("kernel_events", "emulator_hosts", "emulator_packets",
-                    "neighbors_per_host"):
+                    "neighbors_per_host", "scenario_nodes",
+                    "scenario_duration"):
             if key in section:
                 config[key] = section.getint(key)
         if "results_file" in section:
@@ -175,6 +189,56 @@ def bench_emulator(num_hosts: int = 600, num_packets: int = 100_000,
     }
 
 
+# ------------------------------------------------------------ scenario churn
+def bench_scenario_churn(num_nodes: int = 20, duration: float = 240.0,
+                         seeds: tuple[int, ...] = (1, 2, 3)) -> dict:
+    """Wall-clock and fidelity of the scenario engine's churn path.
+
+    One declarative churn scenario (staggered join, 10% of the membership
+    fail-stopping and rejoining, random-key route probes) executed across
+    *seeds* by :class:`ScenarioRunner`.  ``seconds``/``events_per_sec`` track
+    performance; the per-seed ``success_ratios`` are pure simulation results
+    and must be byte-stable across refactors, like the core fingerprint.
+    """
+    spec = ScenarioSpec(
+        name="bench-ring-churn",
+        agents=[ring_agent()],
+        num_nodes=num_nodes,
+        duration=duration,
+        failure_config=FailureDetectorConfig(failure_timeout=10.0,
+                                             heartbeat_timeout=4.0,
+                                             check_interval=1.0),
+        models=(
+            ChurnModel(join="staggered", join_spacing=0.5, churn_fraction=0.10,
+                       churn_start=duration * 0.25, churn_end=duration * 0.85,
+                       downtime=15.0),
+            WorkloadModel(kind="route", source=-1, start=duration * 0.15,
+                          packets=int(duration // 2), gap=1.5),
+        ),
+    )
+    start = time.perf_counter()
+    summary = ScenarioRunner(spec, seeds=list(seeds)).run()
+    seconds = time.perf_counter() - start
+    events = sum(result.metrics["sim.events_processed"]
+                 for result in summary.results)
+    success = summary.metric("workload.success_ratio")
+    return {
+        "nodes": num_nodes,
+        "duration": duration,
+        "seeds": list(seeds),
+        "seconds": round(seconds, 6),
+        "events_processed": int(events),
+        "events_per_sec": round(events / seconds),
+        "sim_seconds_per_wall_second": round(len(seeds) * duration / seconds, 1),
+        "success_ratios": [repr(result.metrics["workload.success_ratio"])
+                           for result in summary.results],
+        "success_mean": round(success.mean, 4),
+        "success_stddev": round(success.stddev, 4),
+        "crashes": int(sum(result.metrics["nodes.crashes"]
+                           for result in summary.results)),
+    }
+
+
 # ---------------------------------------------------------------- fingerprint
 def metrics_fingerprint(seed: int = 7, num_hosts: int = 64,
                         num_packets: int = 2_000) -> dict:
@@ -275,12 +339,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--neighbors", type=int,
                         default=config["neighbors_per_host"],
                         help="overlay neighbours per host in the emulator bench")
+    parser.add_argument("--scenario-nodes", type=int,
+                        default=config["scenario_nodes"],
+                        help="overlay size of the churn scenario bench")
+    parser.add_argument("--scenario-duration", type=float,
+                        default=config["scenario_duration"],
+                        help="simulated seconds of the churn scenario bench")
     parser.add_argument("--quick", action="store_true",
                         help="small sizes for a smoke run")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke pass: --quick sizes, stdout only "
+                             "(BENCH_core.json is not touched)")
     args = parser.parse_args(argv)
 
+    if args.smoke:
+        args.quick = True
+        args.output = "-"
     if args.quick:
         args.events, args.hosts, args.packets = 20_000, 100, 3_000
+        args.scenario_nodes = 10
+        args.scenario_duration = 120.0
 
     # Validate the results file before spending ~a minute benchmarking.
     document = load_results(Path(args.output)) if args.output != "-" else None
@@ -292,6 +370,8 @@ def main(argv: list[str] | None = None) -> int:
         "python": platform.python_version(),
         "kernel": bench_kernel(args.events),
         "emulator": bench_emulator(args.hosts, args.packets, args.neighbors),
+        "scenario_churn": bench_scenario_churn(args.scenario_nodes,
+                                               args.scenario_duration),
         "fingerprint": metrics_fingerprint(),
     }
 

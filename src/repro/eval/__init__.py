@@ -1,7 +1,18 @@
-"""Evaluation framework: metrics, experiment harness, and LOC accounting."""
+"""Evaluation framework: metrics, experiments, scenarios, and LOC accounting."""
 
 from .experiment import ExperimentConfig, OverlayExperiment
 from .loc import expansion_factor, generated_loc, spec_loc
+from .runner import ScenarioRunner, ScenarioSummary, SummaryStats
+from .scenario import (
+    ChurnModel,
+    CrashModel,
+    PartitionModel,
+    SampleSeries,
+    ScenarioError,
+    ScenarioResult,
+    ScenarioSpec,
+    WorkloadModel,
+)
 from .metrics import (
     StretchSample,
     average_correct_route_entries,
@@ -20,6 +31,17 @@ from .reports import format_series, format_table
 __all__ = [
     "ExperimentConfig",
     "OverlayExperiment",
+    "ChurnModel",
+    "CrashModel",
+    "PartitionModel",
+    "SampleSeries",
+    "ScenarioError",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "ScenarioSummary",
+    "SummaryStats",
+    "WorkloadModel",
     "expansion_factor",
     "generated_loc",
     "spec_loc",

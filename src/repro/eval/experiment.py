@@ -2,23 +2,31 @@
 
 An :class:`OverlayExperiment` is the reproduction's equivalent of one
 ModelNet run: a topology, an emulator, N overlay nodes all running the same
-protocol stack, a bootstrap, and convenience methods for the measurement
-patterns the paper's evaluation uses (multicast latency probes, routing-table
-snapshots over time, streaming bandwidth).
+protocol stack, a bootstrap, and the *primitives* the scenario engine
+(:mod:`repro.eval.scenario`) compiles its event models onto — joining,
+fail-stop crashes, recoveries, partitions, and link cuts.
+
+Historically this class also carried the measurement patterns of the paper's
+figures directly; those methods remain, but are now thin wrappers over the
+scenario models (``init_all`` over :class:`~repro.eval.scenario.ChurnModel`,
+``multicast_latency_probe`` over
+:class:`~repro.eval.scenario.WorkloadModel`), so a script can start from the
+simple API and graduate to full :class:`~repro.eval.scenario.ScenarioSpec`
+descriptions without the two paths diverging.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Type
 
 from ..network.emulator import NetworkEmulator
-from ..network.topology import Topology, transit_stub_topology
+from ..network.topology import Topology, TopologyError, transit_stub_topology
 from ..runtime.agent import Agent
 from ..runtime.engine import Simulator
+from ..runtime.failure import FailureDetectorConfig
 from ..runtime.node import MacedonNode
 from ..runtime.tracing import Tracer
-from ..apps.payload import AppPayload
 
 
 @dataclass
@@ -32,6 +40,8 @@ class ExperimentConfig:
     strict_locking: bool = True
     #: Seconds of simulated time allowed for overlay construction/convergence.
     convergence_time: float = 120.0
+    #: Failure-detector tuning (the paper's f/g) applied to every node.
+    failure_config: Optional[FailureDetectorConfig] = None
 
 
 class OverlayExperiment:
@@ -46,20 +56,47 @@ class OverlayExperiment:
         self.simulator = Simulator(seed=config.seed)
         self.topology = config.topology or transit_stub_topology(
             config.num_nodes, seed=config.seed)
+        capacity = len(self.topology.clients)
+        if config.num_nodes > capacity:
+            raise TopologyError(
+                f"num_nodes={config.num_nodes} exceeds the {capacity} client "
+                f"attachment points of topology {self.topology.name!r}; "
+                f"generate the topology with num_clients >= {config.num_nodes} "
+                f"(or lower num_nodes) so every overlay node gets its own "
+                f"access link")
         self.emulator = NetworkEmulator(self.simulator, self.topology,
                                         random_loss_rate=config.random_loss_rate)
         self.tracer = Tracer()
         self.nodes: list[MacedonNode] = [
             MacedonNode(self.simulator, self.emulator, self.agent_classes,
-                        tracer=self.tracer, strict_locking=config.strict_locking)
+                        tracer=self.tracer, strict_locking=config.strict_locking,
+                        failure_config=config.failure_config)
             for _ in range(config.num_nodes)
         ]
         self.bootstrap = self.nodes[0]
         self._by_address = {node.address: node for node in self.nodes}
+        #: RNG every scenario model applied to this experiment draws from.
+        self.scenario_rng = self.simulator.fork_rng("scenario")
+        #: Models compiled onto this experiment's timeline, in apply order.
+        self.compiled_models: list = []
+        #: Stream ids claimed by applied workload models (kept distinct so
+        #: concurrent workloads never score each other's probes).
+        self.workload_streams: set[int] = set()
+        #: Optional idempotent tuning hook (ScenarioSpec.configure).  Re-run
+        #: after every node recovery, because recovery rebuilds the agent
+        #: stack from the original classes and would otherwise silently
+        #: revert per-node protocol tuning on rejoined nodes.
+        self.configure_hook: Optional[Callable[["OverlayExperiment"], None]] = None
 
     # ----------------------------------------------------------------- plumbing
     def node(self, address: int) -> MacedonNode:
         return self._by_address[address]
+
+    def _resolve_node(self, node) -> MacedonNode:
+        """Accept a node object or a node *index* (scenario models use indices)."""
+        if isinstance(node, MacedonNode):
+            return node
+        return self.nodes[node]
 
     @property
     def lowest_protocol(self) -> str:
@@ -68,15 +105,6 @@ class OverlayExperiment:
     @property
     def highest_protocol(self) -> str:
         return self.agent_classes[-1].PROTOCOL
-
-    def init_all(self, *, staggered: float = 0.0) -> None:
-        """Call ``macedon_init`` on every node (optionally staggering joins)."""
-        for index, node in enumerate(self.nodes):
-            if staggered > 0 and index > 0:
-                self.simulator.schedule(index * staggered, node.macedon_init,
-                                        self.bootstrap.address)
-            else:
-                node.macedon_init(self.bootstrap.address)
 
     def run(self, duration: float) -> float:
         """Advance the simulation by *duration* seconds."""
@@ -87,14 +115,99 @@ class OverlayExperiment:
         return self.run(self.config.convergence_time)
 
     def states(self) -> dict[str, int]:
-        """FSM-state histogram of the lowest-layer agents (a health check)."""
+        """FSM-state histogram of the lowest-layer agents (a health check).
+
+        Crashed nodes are reported under ``"crashed"`` rather than whatever
+        FSM state their dead stack last held.
+        """
         histogram: dict[str, int] = {}
         for node in self.nodes:
-            state = node.lowest_agent.state
+            state = "crashed" if node.crashed else node.lowest_agent.state
             histogram[state] = histogram.get(state, 0) + 1
         return histogram
 
+    def alive_nodes(self) -> list[MacedonNode]:
+        return [node for node in self.nodes if node.alive]
+
+    # ------------------------------------------------------ scenario primitives
+    def join_node(self, node, bootstrap: Optional[int] = None) -> None:
+        """Initialise one node against the bootstrap (recovering it first if
+        it is currently crashed)."""
+        node = self._resolve_node(node)
+        bootstrap = bootstrap if bootstrap is not None else self.bootstrap.address
+        if node.crashed:
+            self._recover(node, bootstrap)
+        else:
+            node.macedon_init(bootstrap)
+
+    def crash_node(self, node) -> None:
+        """Fail-stop one node.  Idempotent."""
+        self._resolve_node(node).crash()
+
+    def recover_node(self, node, *, rejoin: bool = True) -> None:
+        """Recover a crashed node, re-joining the overlay unless told not to."""
+        node = self._resolve_node(node)
+        self._recover(node, self.bootstrap.address if rejoin else None)
+
+    def _recover(self, node: MacedonNode, bootstrap: Optional[int]) -> None:
+        """Recover *node*, re-applying the configure hook to the fresh stack
+        (recovery rebuilds agents from the original classes, so per-node
+        tuning would otherwise be lost on exactly the churned nodes)."""
+        was_crashed = node.crashed
+        node.recover(bootstrap)
+        if was_crashed and self.configure_hook is not None:
+            self.configure_hook(self)
+
+    def partition(self, groups: Sequence[Sequence[int]]) -> None:
+        """Host-level partition by node indices (see ``partition_hosts``)."""
+        address_groups = [[self._resolve_node(index).address for index in group]
+                          for group in groups]
+        self.emulator.partition_hosts(address_groups)
+
+    def heal_partition(self) -> None:
+        self.emulator.heal_partition()
+
+    def disable_link(self, u: int, v: int) -> None:
+        """Cut one underlay edge (targeted route-plan invalidation)."""
+        self.emulator.disable_link(u, v)
+
+    def enable_link(self, u: int, v: int) -> None:
+        self.emulator.enable_link(u, v)
+
+    def apply_model(self, model, *, horizon: Optional[float] = None,
+                    immediate: bool = False):
+        """Compile a scenario model and schedule its events from *now*.
+
+        Event times are offsets from the current simulated time.  With
+        *immediate*, events due at exactly this instant run synchronously —
+        which is how ``init_all()`` keeps its original "nodes are initialised
+        when the call returns" contract.  Returns the compiled model.
+        """
+        horizon = horizon if horizon is not None else self.config.convergence_time
+        compiled = model.instantiate(self, self.scenario_rng, horizon)
+        self.compiled_models.append(compiled)
+        for event in compiled.events:
+            if immediate and event.time <= 0.0:
+                event.apply()
+            else:
+                self.simulator.schedule(event.time, event.apply,
+                                        label=f"scenario:{event.kind}")
+        return compiled
+
     # -------------------------------------------------------------- measurement
+    def init_all(self, *, staggered: float = 0.0) -> None:
+        """Call ``macedon_init`` on every node (optionally staggering joins).
+
+        Thin wrapper over :class:`~repro.eval.scenario.ChurnModel` with no
+        churn: immediate joins happen synchronously before this returns;
+        staggered joins are scheduled ``staggered`` seconds apart.
+        """
+        from .scenario import ChurnModel
+
+        model = ChurnModel(join="staggered" if staggered > 0 else "immediate",
+                           join_spacing=staggered, churn_fraction=0.0)
+        self.apply_model(model, immediate=True)
+
     def multicast_latency_probe(self, source: MacedonNode, group: int,
                                 *, packets: int = 5, packet_bytes: int = 1000,
                                 gap: float = 0.5,
@@ -102,37 +215,27 @@ class OverlayExperiment:
         """Send a short multicast burst and measure per-receiver average latency.
 
         Returns {receiver address: mean overlay latency in seconds} over the
-        packets that receiver actually received.  Used by the NICE stretch and
-        latency figures.
+        packets that receiver actually received.  Used by the NICE stretch
+        and latency figures.  Thin wrapper over
+        :class:`~repro.eval.scenario.WorkloadModel`: any deliver handlers the
+        application registered keep firing during the probe and are restored
+        afterwards.
         """
-        latencies: dict[int, list[float]] = {}
-        for node in self.nodes:
-            if node is source:
-                continue
-            node.macedon_register_handlers(
-                deliver=self._latency_recorder(node.address, latencies))
-        for index in range(packets):
-            payload = AppPayload(seqno=index, sent_at=0.0, source=source.address,
-                                 size=packet_bytes)
-            self.simulator.schedule(index * gap, self._send_probe, source, group,
-                                    payload, packet_bytes)
-        self.run(packets * gap + settle)
+        from .scenario import WorkloadModel
+
+        model = WorkloadModel(kind="multicast",
+                              source=self.nodes.index(source), group=group,
+                              packets=packets, gap=gap,
+                              packet_bytes=packet_bytes)
+        compiled = self.apply_model(model)
+        try:
+            self.run(packets * gap + settle)
+        finally:
+            compiled.restore()
+        observations = compiled.observations
         return {address: sum(values) / len(values)
-                for address, values in latencies.items() if values}
-
-    def _send_probe(self, source: MacedonNode, group: int, payload: AppPayload,
-                    packet_bytes: int) -> None:
-        stamped = AppPayload(seqno=payload.seqno, sent_at=self.simulator.now,
-                             source=payload.source, size=payload.size,
-                             stream_id=payload.stream_id)
-        source.macedon_multicast(group, stamped, packet_bytes)
-
-    def _latency_recorder(self, address: int,
-                          sink: dict[int, list[float]]) -> Callable:
-        def _deliver(payload, size, mtype) -> None:
-            if isinstance(payload, AppPayload):
-                sink.setdefault(address, []).append(self.simulator.now - payload.sent_at)
-        return _deliver
+                for address, values in observations.per_receiver.items()
+                if values and address != source.address}
 
     def sample_over_time(self, sample: Callable[[], float], *, interval: float,
                          duration: float) -> list[tuple[float, float]]:

@@ -1,0 +1,102 @@
+"""Batched multi-seed scenario execution.
+
+One :class:`ScenarioSpec` run is a single sample of a stochastic system; the
+paper's figures are means over repeated ModelNet runs.  The
+:class:`ScenarioRunner` replays a spec across a list of seeds (fresh
+simulator, topology, and RNG streams per seed) and aggregates every numeric
+metric into :class:`SummaryStats` — mean, standard deviation, extrema, and
+percentiles — which is what the benchmarks record in ``BENCH_core.json``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .metrics import mean, percentile
+from .reports import format_table
+from .scenario import ScenarioResult, ScenarioSpec
+
+#: Seeds used when the caller does not choose their own replication set.
+DEFAULT_SEEDS = (1, 2, 3)
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Aggregate of one metric across seeds."""
+
+    count: int
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "SummaryStats":
+        values = [float(v) for v in values]
+        if not values:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        average = mean(values)
+        variance = sum((v - average) ** 2 for v in values) / len(values)
+        return cls(
+            count=len(values),
+            mean=average,
+            stddev=math.sqrt(variance),
+            minimum=min(values),
+            maximum=max(values),
+            p50=percentile(values, 0.5),
+            p95=percentile(values, 0.95),
+        )
+
+
+@dataclass
+class ScenarioSummary:
+    """All per-seed results of one spec plus the cross-seed aggregates."""
+
+    name: str
+    seeds: list[int]
+    results: list[ScenarioResult]
+    aggregate: dict[str, SummaryStats]
+
+    def metric(self, key: str) -> SummaryStats:
+        try:
+            return self.aggregate[key]
+        except KeyError as exc:
+            raise KeyError(
+                f"no metric {key!r} in scenario {self.name!r} "
+                f"(have: {sorted(self.aggregate)})") from exc
+
+    def table(self) -> str:
+        """The aggregate as a fixed-width text table (one row per metric)."""
+        rows = [(key, stats.mean, stats.stddev, stats.minimum, stats.maximum)
+                for key, stats in sorted(self.aggregate.items())]
+        return format_table(
+            ["metric", "mean", "stddev", "min", "max"], rows,
+            title=f"scenario {self.name!r} over seeds {self.seeds}")
+
+
+class ScenarioRunner:
+    """Execute one :class:`ScenarioSpec` across multiple seeds."""
+
+    def __init__(self, spec: ScenarioSpec,
+                 seeds: Optional[Sequence[int]] = None) -> None:
+        self.spec = spec
+        self.seeds = list(seeds) if seeds is not None else list(DEFAULT_SEEDS)
+        if not self.seeds:
+            raise ValueError("ScenarioRunner needs at least one seed")
+
+    def run(self) -> ScenarioSummary:
+        results = [self.spec.with_seed(seed).run() for seed in self.seeds]
+        keys = set(results[0].metrics)
+        for result in results[1:]:
+            keys &= set(result.metrics)
+        aggregate = {
+            key: SummaryStats.from_values([result.metrics[key]
+                                           for result in results])
+            for key in keys
+        }
+        return ScenarioSummary(name=self.spec.name, seeds=list(self.seeds),
+                               results=results, aggregate=aggregate)

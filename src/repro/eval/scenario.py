@@ -1,0 +1,598 @@
+"""Declarative experiment scenarios.
+
+The paper's evaluation does not just boot N nodes and measure: it joins them
+under realistic schedules, kills them, lets the failure detector drive
+``error`` transitions, and measures workloads *while* the overlay is
+repairing itself.  This module is the ns-style scenario script for the
+reproduction: a :class:`ScenarioSpec` is a declarative description of one
+such run — which agents, how many nodes, and a set of typed event models —
+that compiles onto the simulator timeline and executes deterministically from
+a seed.
+
+Four event models cover the paper's fault vocabulary:
+
+* :class:`ChurnModel` — staggered or Poisson joins, plus optional
+  leave/rejoin cycling of a fraction of the membership (fail-stop leaves);
+* :class:`CrashModel` — a correlated fail-stop kill of chosen or sampled
+  victims, with optional recovery;
+* :class:`PartitionModel` — a network partition, either host-level groups
+  (testbed-style per-host filtering) or physical link cuts, healed later;
+* :class:`WorkloadModel` — measurement traffic (multicast bursts or key
+  route probes) with delivery/latency accounting.
+
+Event times are **offsets from the moment the model is applied**;
+:meth:`ScenarioSpec.run` applies every model at time zero, so offsets and
+absolute times coincide for whole-scenario runs.  All randomness comes from
+an RNG forked from the experiment seed, so a spec is a pure function of
+``(spec, seed)`` — the fixed-seed determinism tests pin this.
+
+:class:`~repro.eval.runner.ScenarioRunner` executes one spec across several
+seeds and aggregates the resulting metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Optional, Sequence, Type, Union
+
+from ..apps.payload import AppPayload
+from ..runtime.agent import Agent
+from ..runtime.failure import FailureDetectorConfig
+from ..network.topology import Topology
+
+
+class ScenarioError(ValueError):
+    """Raised for malformed scenario specifications."""
+
+
+# --------------------------------------------------------------------- events
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One compiled timeline entry: when, what, and the thunk that does it."""
+
+    time: float          # offset in seconds from the moment the model is applied
+    kind: str            # "join" | "crash" | "recover" | "partition" | ...
+    detail: str
+    apply: Callable[[], None]
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ScenarioError(
+                f"{self.kind} event scheduled {self.time} s in the past")
+
+
+class CompiledModel:
+    """A model bound to one experiment: its events plus a metrics closure."""
+
+    def __init__(self, label: str, events: Sequence[ScenarioEvent],
+                 finalize: Optional[Callable[[], dict[str, float]]] = None,
+                 restore: Optional[Callable[[], None]] = None) -> None:
+        self.label = label
+        self.events = list(events)
+        self._finalize = finalize
+        self._restore = restore
+
+    def metrics(self) -> dict[str, float]:
+        """Model-specific metrics, collected after the run."""
+        return dict(self._finalize()) if self._finalize is not None else {}
+
+    def restore(self) -> None:
+        """Undo any handler instrumentation the model installed."""
+        if self._restore is not None:
+            self._restore()
+
+
+# --------------------------------------------------------------------- models
+@dataclass(frozen=True)
+class ScenarioModel:
+    """Base class of the typed event models.
+
+    ``label`` names the model's metrics in :class:`ScenarioResult`
+    (``<label>.<metric>``); each subclass has a sensible default.
+    """
+
+    label: str = ""
+
+    def default_label(self) -> str:
+        return type(self).__name__.removesuffix("Model").lower()
+
+    def instantiate(self, experiment: "OverlayExperiment",  # noqa: F821
+                    rng, horizon: float) -> CompiledModel:
+        raise NotImplementedError
+
+
+def _resolve_indices(experiment, indices: Sequence[int], what: str) -> list[int]:
+    count = len(experiment.nodes)
+    out = []
+    for index in indices:
+        if not -count <= index < count:
+            raise ScenarioError(
+                f"{what} index {index} out of range for {count} nodes")
+        out.append(index % count)
+    return out
+
+
+@dataclass(frozen=True)
+class ChurnModel(ScenarioModel):
+    """Join schedule plus optional leave/rejoin churn.
+
+    Joins: every node calls ``macedon_init`` against the experiment
+    bootstrap — all at once (``join="immediate"``), spaced ``join_spacing``
+    seconds apart (``"staggered"``), or with exponential inter-arrival gaps
+    of mean ``1/join_rate`` (``"poisson"``).  Node 0 (the bootstrap) always
+    joins first, at ``start``.
+
+    Churn: ``churn_fraction`` of the non-exempt membership is sampled; each
+    victim fail-stops at a uniform time in ``[churn_start, churn_end]`` and,
+    if ``rejoin`` is set, recovers ``downtime`` seconds later with a factory
+    reset and a fresh ``macedon_init`` — the recovery path the paper drives
+    on ModelNet.
+    """
+
+    join: str = "staggered"          # "immediate" | "staggered" | "poisson"
+    join_spacing: float = 0.25
+    join_rate: float = 4.0           # joins per second for "poisson"
+    start: float = 0.0
+    churn_fraction: float = 0.0
+    churn_start: float = 0.0
+    churn_end: Optional[float] = None
+    downtime: float = 10.0
+    rejoin: bool = True
+    exempt: tuple[int, ...] = (0,)   # node indices never churned (bootstrap)
+
+    def instantiate(self, experiment, rng, horizon: float) -> CompiledModel:
+        if self.join not in ("immediate", "staggered", "poisson"):
+            raise ScenarioError(f"unknown join mode {self.join!r}")
+        events: list[ScenarioEvent] = []
+        crashes = 0
+
+        when = self.start
+        join_at: list[float] = []
+        for index in range(len(experiment.nodes)):
+            if index > 0:
+                if self.join == "staggered":
+                    when = self.start + index * self.join_spacing
+                elif self.join == "poisson":
+                    when += rng.expovariate(self.join_rate)
+            join_at.append(when)
+            events.append(ScenarioEvent(
+                when, "join", f"node {index} joins",
+                lambda i=index: experiment.join_node(i)))
+
+        if self.churn_fraction > 0:
+            exempt = set(_resolve_indices(experiment, self.exempt, "exempt"))
+            candidates = [i for i in range(len(experiment.nodes))
+                          if i not in exempt]
+            count = min(len(candidates),
+                        round(self.churn_fraction * len(candidates)))
+            victims = sorted(rng.sample(candidates, count))
+            end = self.churn_end if self.churn_end is not None else horizon
+            window_end = max(self.churn_start,
+                             end - (self.downtime if self.rejoin else 0.0))
+            for index in victims:
+                # A victim cannot churn out before it has joined: a crash
+                # scheduled earlier would be silently undone by the join
+                # (join_node recovers crashed nodes), counting a cycle that
+                # delivered zero downtime.
+                window_start = max(self.churn_start, join_at[index])
+                at = rng.uniform(window_start, max(window_start, window_end))
+                crashes += 1
+                events.append(ScenarioEvent(
+                    at, "crash", f"node {index} churns out",
+                    lambda i=index: experiment.crash_node(i)))
+                if self.rejoin:
+                    events.append(ScenarioEvent(
+                        at + self.downtime, "recover", f"node {index} rejoins",
+                        lambda i=index: experiment.recover_node(i, rejoin=True)))
+
+        label = self.label or self.default_label()
+        return CompiledModel(label, events,
+                             finalize=lambda: {"joins": float(len(experiment.nodes)),
+                                               "churn_cycles": float(crashes)})
+
+
+@dataclass(frozen=True)
+class CrashModel(ScenarioModel):
+    """A correlated fail-stop kill at one instant, with optional recovery.
+
+    Victims are either named node indices or a sampled ``fraction`` of the
+    non-exempt membership.  With ``recover_after`` set, every victim comes
+    back that many seconds later (factory-reset, re-joined via the
+    bootstrap); otherwise the kill is permanent for the rest of the run.
+    """
+
+    at: float = 0.0
+    victims: tuple[int, ...] = ()
+    fraction: float = 0.0
+    recover_after: Optional[float] = None
+    exempt: tuple[int, ...] = (0,)
+
+    def instantiate(self, experiment, rng, horizon: float) -> CompiledModel:
+        if self.victims and self.fraction:
+            raise ScenarioError("give CrashModel victims or fraction, not both")
+        if self.victims:
+            chosen = _resolve_indices(experiment, self.victims, "victim")
+        else:
+            exempt = set(_resolve_indices(experiment, self.exempt, "exempt"))
+            candidates = [i for i in range(len(experiment.nodes))
+                          if i not in exempt]
+            count = min(len(candidates), round(self.fraction * len(candidates)))
+            chosen = sorted(rng.sample(candidates, count))
+        events: list[ScenarioEvent] = []
+        for index in chosen:
+            events.append(ScenarioEvent(
+                self.at, "crash", f"node {index} fail-stops",
+                lambda i=index: experiment.crash_node(i)))
+            if self.recover_after is not None:
+                events.append(ScenarioEvent(
+                    self.at + self.recover_after, "recover",
+                    f"node {index} recovers",
+                    lambda i=index: experiment.recover_node(i, rejoin=True)))
+        label = self.label or self.default_label()
+        return CompiledModel(label, events,
+                             finalize=lambda: {"victims": float(len(chosen))})
+
+
+@dataclass(frozen=True)
+class PartitionModel(ScenarioModel):
+    """Cut the network at ``at``; optionally heal ``heal_after`` seconds later.
+
+    Two cut mechanisms, matching the emulator's fault hooks:
+
+    * ``groups`` — host-level partition: node-index groups whose members can
+      only reach hosts in their own group; unlisted nodes form their own
+      implicit group, so a single listed group is isolated from everyone
+      else (``NetworkEmulator.partition_hosts``);
+    * ``links`` — physical cuts of specific underlay edges
+      (``NetworkEmulator.disable_link`` with targeted route invalidation).
+    """
+
+    at: float = 0.0
+    heal_after: Optional[float] = None
+    groups: tuple[tuple[int, ...], ...] = ()
+    links: tuple[tuple[int, int], ...] = ()
+
+    def instantiate(self, experiment, rng, horizon: float) -> CompiledModel:
+        if not self.groups and not self.links:
+            raise ScenarioError("PartitionModel needs groups or links to cut")
+        events: list[ScenarioEvent] = []
+        if self.groups:
+            for group in self.groups:
+                _resolve_indices(experiment, group, "partition member")
+            events.append(ScenarioEvent(
+                self.at, "partition",
+                f"partition into {len(self.groups)} host groups",
+                lambda: experiment.partition([list(g) for g in self.groups])))
+            if self.heal_after is not None:
+                events.append(ScenarioEvent(
+                    self.at + self.heal_after, "heal", "partition heals",
+                    experiment.heal_partition))
+        for (u, v) in self.links:
+            events.append(ScenarioEvent(
+                self.at, "link-cut", f"link ({u}, {v}) cut",
+                lambda u=u, v=v: experiment.disable_link(u, v)))
+            if self.heal_after is not None:
+                events.append(ScenarioEvent(
+                    self.at + self.heal_after, "link-heal",
+                    f"link ({u}, {v}) heals",
+                    lambda u=u, v=v: experiment.enable_link(u, v)))
+        label = self.label or self.default_label()
+        return CompiledModel(label, events)
+
+
+class WorkloadObservations:
+    """Accumulated delivery/latency observations of one workload model."""
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.skipped = 0          # probes whose sender was down at send time
+        self.deliveries = 0       # total deliver upcalls (multicast: many/packet)
+        self.duplicates = 0       # same (receiver, seqno) seen twice
+        self.latencies: list[float] = []
+        self.per_receiver: dict[int, list[float]] = {}
+        self.delivered_seqnos: set[int] = set()
+        self._seen: set[tuple[int, int]] = set()
+
+    def record(self, receiver: int, payload: AppPayload, now: float) -> None:
+        key = (receiver, payload.seqno)
+        if key in self._seen:
+            self.duplicates += 1
+            return
+        self._seen.add(key)
+        self.deliveries += 1
+        self.delivered_seqnos.add(payload.seqno)
+        latency = now - payload.sent_at
+        self.latencies.append(latency)
+        self.per_receiver.setdefault(receiver, []).append(latency)
+
+    @property
+    def success_ratio(self) -> float:
+        """Distinct probes delivered anywhere, over probes actually sent."""
+        if self.sent == 0:
+            return 0.0
+        return len(self.delivered_seqnos) / self.sent
+
+
+@dataclass(frozen=True)
+class WorkloadModel(ScenarioModel):
+    """Measurement traffic injected while the scenario unfolds.
+
+    * ``kind="multicast"`` — a burst of ``packets`` multicast packets from
+      node ``source`` to ``group`` (the NICE/SplitStream measurement
+      pattern);
+    * ``kind="route"`` — key lookup probes: each probe routes a payload to a
+      uniformly random key from a random live node (``source=-1``) or a fixed
+      one, and succeeds if *any* node delivers it — the "lookup success under
+      churn" quantity.
+
+    Deliver handlers are chained onto every node when the model is applied
+    and the previously registered handlers are invoked afterwards, then
+    restored when the scenario finishes — application instrumentation
+    survives being measured.
+    """
+
+    kind: str = "multicast"        # "multicast" | "route"
+    source: int = 0                # node index; -1 = random sender per probe
+    group: int = 1
+    start: float = 0.0
+    packets: int = 5
+    gap: float = 0.5
+    packet_bytes: int = 1000
+    #: Stream identity stamped on payloads; 0 (the default) auto-assigns a
+    #: distinct id per applied workload so concurrent workloads never score
+    #: each other's probes.  Auto ids start at AUTO_STREAM_BASE, well clear
+    #: of the small ids application traffic conventionally uses (e.g. the
+    #: RandomRoute app hardcodes stream 1) — otherwise the recorder would
+    #: cross-score app payloads as probes.
+    stream_id: int = 0
+
+    #: First auto-assigned workload stream id.
+    AUTO_STREAM_BASE = 1000
+
+    def instantiate(self, experiment, rng, horizon: float) -> CompiledModel:
+        if self.kind not in ("multicast", "route"):
+            raise ScenarioError(f"unknown workload kind {self.kind!r}")
+        used_streams = experiment.workload_streams
+        if self.stream_id:
+            if self.stream_id in used_streams:
+                raise ScenarioError(
+                    f"workload stream_id {self.stream_id} used twice; each "
+                    f"concurrent workload needs its own stream")
+            stream_id = self.stream_id
+        else:
+            stream_id = self.AUTO_STREAM_BASE
+            while stream_id in used_streams:
+                stream_id += 1
+        used_streams.add(stream_id)
+        observations = WorkloadObservations()
+        simulator = experiment.simulator
+
+        # Chain a latency recorder in front of whatever deliver handler the
+        # application registered; keep the originals for restore().
+        saved = [(node, node.handlers) for node in experiment.nodes]
+
+        def _chained(node, previous):
+            def _deliver(payload, size, mtype) -> None:
+                if isinstance(payload, AppPayload) and \
+                        payload.stream_id == stream_id:
+                    observations.record(node.address, payload, simulator.now)
+                if previous.deliver is not None:
+                    previous.deliver(payload, size, mtype)
+            return _deliver
+
+        for node, previous in saved:
+            node.handlers = replace(previous, deliver=_chained(node, previous))
+
+        def _restore() -> None:
+            for node, previous in saved:
+                node.handlers = previous
+
+        key_space = experiment.nodes[0].lowest_agent.key_space
+        num_nodes = len(experiment.nodes)
+
+        def _send(seqno: int, sender_index: int, dest_key: Optional[int]) -> None:
+            sender = experiment.nodes[sender_index]
+            if sender.crashed or not sender.initialized:
+                observations.skipped += 1
+                return
+            observations.sent += 1
+            payload = AppPayload(seqno=seqno, sent_at=simulator.now,
+                                 source=sender.address, size=self.packet_bytes,
+                                 stream_id=stream_id)
+            if self.kind == "multicast":
+                sender.macedon_multicast(self.group, payload, self.packet_bytes)
+            else:
+                sender.macedon_route(dest_key, payload, self.packet_bytes)
+
+        # Pre-draw senders and target keys at compile time so the RNG stream
+        # does not depend on how events interleave at runtime.
+        events: list[ScenarioEvent] = []
+        for seqno in range(self.packets):
+            if self.source >= 0:
+                sender_index = _resolve_indices(experiment, (self.source,),
+                                                "workload source")[0]
+            else:
+                sender_index = rng.randrange(num_nodes)
+            dest_key = rng.randrange(key_space.size) if self.kind == "route" else None
+            events.append(ScenarioEvent(
+                self.start + seqno * self.gap, self.kind,
+                f"{self.kind} probe {seqno} from node {sender_index}",
+                lambda s=seqno, i=sender_index, k=dest_key: _send(s, i, k)))
+
+        from .metrics import mean, percentile  # local import avoids a cycle
+
+        def _finalize() -> dict[str, float]:
+            return {
+                "sent": float(observations.sent),
+                "skipped": float(observations.skipped),
+                "deliveries": float(observations.deliveries),
+                "duplicates": float(observations.duplicates),
+                "success_ratio": observations.success_ratio,
+                "latency_mean": mean(observations.latencies),
+                "latency_p95": percentile(observations.latencies, 0.95),
+            }
+
+        label = self.label or self.default_label()
+        compiled = CompiledModel(label, events, finalize=_finalize,
+                                 restore=_restore)
+        compiled.observations = observations  # type: ignore[attr-defined]
+        return compiled
+
+
+# -------------------------------------------------------------------- samples
+@dataclass(frozen=True)
+class SampleSeries:
+    """A named time series sampled every ``interval`` seconds during the run.
+
+    ``fn`` receives the experiment and returns one float — e.g. the
+    Figure-10 routing-table-correctness metric.  Samples are taken from
+    ``start`` to the scenario end, inclusive of both endpoints.
+    """
+
+    name: str
+    interval: float
+    fn: Callable[["OverlayExperiment"], float]  # noqa: F821
+    start: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ScenarioError("sample interval must be positive")
+
+
+# --------------------------------------------------------------------- result
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    name: str
+    seed: int
+    duration: float
+    metrics: dict[str, float]
+    series: dict[str, list[tuple[float, float]]]
+    events: list[tuple[float, str, str]]
+    #: The live experiment, for ad-hoc inspection (not used in aggregation).
+    experiment: Any = None
+
+
+AgentClasses = Union[Sequence[Type[Agent]], Callable[[], Sequence[Type[Agent]]]]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative scenario: agents, population, faults, and workload.
+
+    ``agents`` may be a sequence of agent classes or a zero-argument callable
+    returning one (so DSL compilation happens lazily, per spec use).
+    ``topology`` may be a :class:`Topology` or a callable ``seed -> Topology``;
+    by default a transit-stub topology with ``num_nodes`` clients is generated
+    from the seed, so every seed sees a different (but reproducible) network.
+    """
+
+    name: str
+    agents: AgentClasses
+    num_nodes: int
+    duration: float
+    seed: int = 0
+    topology: Union[Topology, Callable[[int], Topology], None] = None
+    random_loss_rate: float = 0.0
+    strict_locking: bool = True
+    failure_config: Optional[FailureDetectorConfig] = None
+    models: tuple[ScenarioModel, ...] = ()
+    samples: tuple[SampleSeries, ...] = ()
+    #: Post-construction tuning hook, e.g. tightening protocol timers per
+    #: node.  Must be **idempotent**: it is re-applied after every node
+    #: recovery, because fail-stop recovery rebuilds the agent stack and
+    #: would otherwise revert the tuning on exactly the churned nodes.
+    configure: Optional[Callable[["OverlayExperiment"], None]] = None  # noqa: F821
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        """This spec, re-seeded (the multi-seed runner's replication knob)."""
+        return replace(self, seed=seed)
+
+    # ------------------------------------------------------------------- build
+    def resolve_agents(self) -> list[Type[Agent]]:
+        agents = self.agents() if callable(self.agents) else self.agents
+        return list(agents)
+
+    def build(self) -> "OverlayExperiment":  # noqa: F821
+        """Construct the experiment and schedule every model onto it."""
+        from .experiment import ExperimentConfig, OverlayExperiment
+
+        if self.duration <= 0:
+            raise ScenarioError("scenario duration must be positive")
+        topology = self.topology(self.seed) if callable(self.topology) \
+            else self.topology
+        config = ExperimentConfig(
+            num_nodes=self.num_nodes,
+            seed=self.seed,
+            topology=topology,
+            random_loss_rate=self.random_loss_rate,
+            strict_locking=self.strict_locking,
+            convergence_time=self.duration,
+            failure_config=self.failure_config,
+        )
+        experiment = OverlayExperiment(self.resolve_agents(), config)
+        if self.configure is not None:
+            experiment.configure_hook = self.configure
+            self.configure(experiment)
+        for model in self.models:
+            experiment.apply_model(model, horizon=self.duration)
+        return experiment
+
+    # --------------------------------------------------------------------- run
+    def run(self) -> ScenarioResult:
+        """Execute the scenario and collect metrics, series, and event log."""
+        experiment = self.build()
+        simulator = experiment.simulator
+
+        series: dict[str, list[tuple[float, float]]] = {}
+        for sample in self.samples:
+            points = series.setdefault(sample.name, [])
+            when = sample.start
+            while when <= self.duration + 1e-9:
+                simulator.schedule_at(
+                    when,
+                    lambda s=sample, p=points: p.append(
+                        (simulator.now, float(s.fn(experiment)))),
+                    label=f"sample:{sample.name}")
+                when += sample.interval
+
+        experiment.run(self.duration)
+
+        # Reverse apply order: each restore() re-installs what the model saw
+        # when it was applied, so unwinding must pop the chain LIFO.
+        for compiled in reversed(experiment.compiled_models):
+            compiled.restore()
+
+        metrics: dict[str, float] = {}
+        labels: dict[str, int] = {}
+        for compiled in experiment.compiled_models:
+            label = compiled.label
+            labels[label] = labels.get(label, 0) + 1
+            if labels[label] > 1:
+                label = f"{label}{labels[label]}"
+            for key, value in compiled.metrics().items():
+                metrics[f"{label}.{key}"] = value
+
+        stats = experiment.emulator.stats
+        metrics.update({
+            "net.packets_sent": float(stats.packets_sent),
+            "net.packets_delivered": float(stats.packets_delivered),
+            "net.packets_dropped": float(stats.packets_dropped),
+            "net.bytes_delivered": float(stats.bytes_delivered),
+            "sim.events_processed": float(simulator.events_processed),
+            "nodes.alive": float(sum(node.alive for node in experiment.nodes)),
+            "nodes.crashes": float(sum(node.crash_count
+                                       for node in experiment.nodes)),
+            "nodes.recoveries": float(sum(node.recover_count
+                                          for node in experiment.nodes)),
+        })
+
+        events = [(event.time, event.kind, event.detail)
+                  for compiled in experiment.compiled_models
+                  for event in compiled.events]
+        events.sort(key=lambda item: item[0])
+        return ScenarioResult(name=self.name, seed=self.seed,
+                              duration=self.duration, metrics=metrics,
+                              series=series, events=events,
+                              experiment=experiment)

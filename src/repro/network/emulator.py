@@ -29,8 +29,8 @@ from ..runtime.engine import Simulator
 from .addressing import AddressAllocator, AddressError, HostAddress
 from .links import DirectedLink
 from .packet import Packet
-from .router import Router
-from .topology import BANDWIDTH_ATTR, LATENCY_ATTR, Topology
+from .router import Router, RoutingError
+from .topology import BANDWIDTH_ATTR, LATENCY_ATTR, Topology, TopologyError
 
 ReceiveCallback = Callable[[Packet], None]
 
@@ -54,7 +54,8 @@ class EmulatorStats:
 class Host:
     """A host attached to the emulated network."""
 
-    __slots__ = ("address", "node", "receive", "delivered", "dropped")
+    __slots__ = ("address", "node", "receive", "delivered", "dropped",
+                 "attached")
 
     def __init__(self, address: HostAddress,
                  receive: Optional[ReceiveCallback] = None) -> None:
@@ -66,6 +67,9 @@ class Host:
         #: Per-host delivery counters, handy in tests.
         self.delivered = 0
         self.dropped = 0
+        #: False while the host is detached (fail-stop crash); packets to or
+        #: from a detached host are dropped instead of raising.
+        self.attached = True
 
 
 class _ResolvedRoute:
@@ -109,6 +113,12 @@ class NetworkEmulator:
         self._client_cursor = 0
         self._max_queue_delay = max_queue_delay
         self.stats = EmulatorStats()
+        # Fault-injection state.  ``_faults_active`` gates one branch in
+        # send(); it is False until the first detach/partition, so the
+        # no-fault hot path is byte-identical to the pre-fault-hook emulator.
+        self._faults_active = False
+        self._detached_count = 0
+        self._partition_of: Optional[dict[int, int]] = None
         # Bound-method caches for the per-packet path (skips one descriptor
         # lookup per send and per delivery).
         self._schedule_fast = simulator.schedule_fast
@@ -117,6 +127,7 @@ class NetworkEmulator:
         # Keep our resolved plans and link table in sync even when callers
         # invalidate at the router level rather than through us.
         self.router.add_invalidation_listener(self._on_router_invalidated)
+        self.router.add_edge_invalidation_listener(self._on_edge_disabled)
 
     # ------------------------------------------------------------------ setup
     def _build_links(self) -> None:
@@ -145,6 +156,11 @@ class NetworkEmulator:
         """
         if topology_node is None:
             clients = self.topology.clients
+            if not clients:
+                raise TopologyError(
+                    f"topology {self.topology.name!r} has no client attachment "
+                    f"points; generate it with num_clients >= 1 (or pass an "
+                    f"explicit topology_node to attach_host)")
             while self._client_cursor < len(clients):
                 candidate = clients[self._client_cursor]
                 if candidate not in self._used_attachments:
@@ -173,6 +189,92 @@ class NetworkEmulator:
     @property
     def hosts(self) -> list[HostAddress]:
         return [host.address for host in self._hosts.values()]
+
+    # ------------------------------------------------------------ fault hooks
+    def _recompute_faults_active(self) -> None:
+        self._faults_active = (self._detached_count > 0
+                               or self._partition_of is not None)
+
+    def detach_host(self, address: int) -> None:
+        """Fail-stop a host: packets to or from it are dropped, not raised.
+
+        The host keeps its address and attachment point so
+        :meth:`reattach_host` restores it exactly where it was (the scenario
+        engine's crash/recover cycle).  Idempotent.
+        """
+        host = self._host(address)
+        if host.attached:
+            host.attached = False
+            self._detached_count += 1
+            self._recompute_faults_active()
+
+    def reattach_host(self, address: int) -> None:
+        """Undo :meth:`detach_host`.  Idempotent."""
+        host = self._host(address)
+        if not host.attached:
+            host.attached = True
+            self._detached_count -= 1
+            self._recompute_faults_active()
+
+    def disable_link(self, u: int, v: int) -> None:
+        """Cut the undirected topology edge (u, v).
+
+        Both :class:`DirectedLink` directions are flagged, the router drops
+        exactly the Dijkstra trees and plans that crossed the edge (targeted
+        invalidation), and this emulator's resolved route plans are pruned the
+        same way via the edge-invalidation listener.  Packets already resolved
+        and scheduled keep flying; packets planned after the cut route around
+        it, or are dropped if no path remains.
+        """
+        self.router.disable_edge(u, v)
+        link = self._links.get((u, v))
+        if link is not None:
+            link.disable()
+        link = self._links.get((v, u))
+        if link is not None:
+            link.disable()
+
+    def enable_link(self, u: int, v: int) -> None:
+        """Heal a previously cut edge (full route-plan invalidation)."""
+        self.router.enable_edge(u, v)
+        link = self._links.get((u, v))
+        if link is not None:
+            link.enable()
+        link = self._links.get((v, u))
+        if link is not None:
+            link.enable()
+
+    def _on_edge_disabled(self, u: int, v: int) -> None:
+        """Prune resolved route plans that traversed the now-disabled edge."""
+        uses_edge = Router._plan_uses_edge  # works on anything with .path
+        stale = [key for key, route in self._routes.items()
+                 if uses_edge(route, u, v)]
+        for key in stale:
+            del self._routes[key]
+
+    def partition_hosts(self, groups: "list[list[int]]") -> None:
+        """Install a host-level partition: a packet whose source and
+        destination host addresses fall in different groups is dropped.
+
+        *groups* are lists of host addresses; hosts not listed form their
+        own implicit group (index ``0`` — listed groups are numbered from
+        ``1``), so a single listed group really is isolated from everyone
+        else.  This is the testbed-style partition (per-host filtering, like
+        iptables rules on a ModelNet edge node); :meth:`disable_link` is the
+        physical-layer alternative for cutting specific underlay edges.
+        """
+        partition: dict[int, int] = {}
+        for index, members in enumerate(groups):
+            for address in members:
+                self._host(address)  # validate
+                partition[int(address)] = index + 1
+        self._partition_of = partition
+        self._recompute_faults_active()
+
+    def heal_partition(self) -> None:
+        """Remove the host-level partition installed by :meth:`partition_hosts`."""
+        self._partition_of = None
+        self._recompute_faults_active()
 
     # ------------------------------------------------------------------ routes
     def _route(self, src_node: int, dst_node: int) -> _ResolvedRoute:
@@ -223,6 +325,20 @@ class NetworkEmulator:
         stats = self.stats
         stats.packets_sent += 1
 
+        if self._faults_active:
+            # Crash/partition checks live behind one flag so the fault-free
+            # hot path costs a single predictable branch per packet.
+            if not (src_host.attached and dst_host.attached):
+                stats.packets_dropped += 1
+                dst_host.dropped += 1
+                return False
+            partition = self._partition_of
+            if partition is not None and \
+                    partition.get(packet.src, 0) != partition.get(packet.dst, 0):
+                stats.packets_dropped += 1
+                dst_host.dropped += 1
+                return False
+
         if self.random_loss_rate and self._rng.random() < self.random_loss_rate:
             stats.packets_dropped += 1
             dst_host.dropped += 1
@@ -230,7 +346,14 @@ class NetworkEmulator:
 
         route = self._routes.get((src_host.node, dst_host.node))
         if route is None:
-            route = self._route(src_host.node, dst_host.node)
+            try:
+                route = self._route(src_host.node, dst_host.node)
+            except RoutingError:
+                # Link cuts severed every underlay path: the packet is lost,
+                # not an error — overlays are expected to ride this out.
+                stats.packets_dropped += 1
+                dst_host.dropped += 1
+                return False
         packet.path = route.path
         wire_size = packet.wire_size
         total_delay = 0.0
@@ -264,7 +387,7 @@ class NetworkEmulator:
 
     def _deliver(self, packet: Packet) -> None:
         host = self._hosts.get(packet.dst)
-        if host is None:
+        if host is None or not host.attached:
             # Host detached while the packet was in flight.
             self.stats.packets_dropped += 1
             return

@@ -21,6 +21,16 @@ case goes through :meth:`DirectedLink.try_transit`, which signals a drop by
 returning a negative sentinel instead of raising (:class:`LinkDropped` costs
 an exception per drop and a ``try`` frame per hop on paths that do not drop).
 ``link.stats`` remains available as a live view for tests and metrics code.
+
+Fault injection (the scenario engine's partition/link-cut models) flips the
+:attr:`DirectedLink.enabled` flag via :meth:`DirectedLink.disable` /
+:meth:`DirectedLink.enable`.  The flag is *not* consulted inside the per-hop
+transit loop — that loop must stay branch-free — because enforcement happens
+one layer up: the router excludes disabled edges from its adjacency and every
+cached route plan that traversed the edge is invalidated at disable time (see
+``Router.disable_edge``), so no new packet can be planned across a dead link.
+Packets already resolved onto the wire before the cut still arrive, which is
+the physically sensible semantics (bits in flight are not recalled).
 """
 
 from __future__ import annotations
@@ -82,7 +92,8 @@ class DirectedLink:
     """One direction of an edge in the topology."""
 
     __slots__ = ("src", "dst", "latency", "bandwidth", "max_queue_delay",
-                 "next_free", "packets", "bytes", "drops", "overlay_payloads")
+                 "next_free", "packets", "bytes", "drops", "overlay_payloads",
+                 "enabled")
 
     def __init__(self, src: int, dst: int, latency: float, bandwidth: float,
                  max_queue_delay: float = 0.5, next_free: float = 0.0) -> None:
@@ -99,11 +110,30 @@ class DirectedLink:
         self.bytes = 0
         self.drops = 0
         self.overlay_payloads: dict[str, int] = {}
+        #: Fault-injection state.  Enforced at the routing layer (disabled
+        #: edges never appear in a route plan), recorded here so link views
+        #: and scenario assertions can observe which links are cut.
+        self.enabled = True
 
     @property
     def stats(self) -> LinkStats:
         """Live view over this link's counters."""
         return LinkStats(self)
+
+    # ------------------------------------------------------------ fault hooks
+    def disable(self) -> None:
+        """Mark this direction of the link as cut (scenario fault injection)."""
+        self.enabled = False
+
+    def enable(self) -> None:
+        """Restore a previously cut link direction.
+
+        The queue state (``next_free``) is kept: if the cut was short enough
+        that the transmitter would still have been draining backlog, the
+        backlog is still there — and if simulated time has moved past it, the
+        stale value is harmless (negative queueing delay clamps to zero).
+        """
+        self.enabled = True
 
     @property
     def max_stress(self) -> int:

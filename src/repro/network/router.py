@@ -17,6 +17,16 @@ The router is also the component the evaluation framework queries for *global*
 information — direct IP latency between any two hosts and the underlay path a
 packet takes — which the paper highlights as necessary for metrics such as
 latency stretch, relative delay penalty, and link stress.
+
+Fault injection (the scenario engine's link-cut and partition models) goes
+through :meth:`Router.disable_edge` / :meth:`Router.enable_edge`.  Disabling
+an edge performs **targeted** invalidation instead of a full rebuild: only
+single-source Dijkstra entries whose shortest-path tree uses the edge, and
+only cached plans whose path traverses it, are dropped — every other cached
+plan is provably still optimal, because removing an edge can only lengthen
+paths that used it.  Re-enabling an edge is the opposite situation (a new
+edge can shorten *any* path), so it falls back to a full invalidation; heals
+are rare next to the per-packet plan lookups the targeted path protects.
 """
 
 from __future__ import annotations
@@ -69,6 +79,12 @@ class Router:
         # routes derived from this router (the emulator) register here so a
         # router-level invalidation cannot leave them holding stale plans.
         self._invalidation_listeners: list[Callable[[], None]] = []
+        # Callbacks fired by disable_edge() with the (u, v) edge, so plan
+        # caches one layer up can prune only the affected entries.
+        self._edge_listeners: list[Callable[[int, int], None]] = []
+        # Currently disabled undirected edges, stored in both orders so the
+        # adjacency filter is one set lookup per directed edge.
+        self._disabled_edges: set[tuple[int, int]] = set()
 
     @property
     def topology(self) -> Topology:
@@ -78,11 +94,20 @@ class Router:
     def _adj(self) -> dict[int, list[tuple[int, float]]]:
         adjacency = self._adjacency
         if adjacency is None:
-            adjacency = self._adjacency = {
-                node: [(neighbour, data[LATENCY_ATTR])
-                       for neighbour, data in neighbours.items()]
-                for node, neighbours in self._graph.adj.items()
-            }
+            disabled = self._disabled_edges
+            if disabled:
+                adjacency = self._adjacency = {
+                    node: [(neighbour, data[LATENCY_ATTR])
+                           for neighbour, data in neighbours.items()
+                           if (node, neighbour) not in disabled]
+                    for node, neighbours in self._graph.adj.items()
+                }
+            else:
+                adjacency = self._adjacency = {
+                    node: [(neighbour, data[LATENCY_ATTR])
+                           for neighbour, data in neighbours.items()]
+                    for node, neighbours in self._graph.adj.items()
+                }
         return adjacency
 
     def _dijkstra(self, source: int) -> tuple[dict[int, float], dict[int, Optional[int]]]:
@@ -184,6 +209,75 @@ class Router:
     def hop_count(self, src_node: int, dst_node: int) -> int:
         """Number of links on the latency-shortest path."""
         return self.plan(src_node, dst_node).hop_count
+
+    # ------------------------------------------------------------ fault hooks
+    @staticmethod
+    def _plan_uses_edge(plan: RoutePlan, u: int, v: int) -> bool:
+        """Whether *plan*'s path traverses the undirected edge (u, v)."""
+        path = plan.path
+        for i in range(len(path) - 1):
+            a, b = path[i], path[i + 1]
+            if (a == u and b == v) or (a == v and b == u):
+                return True
+        return False
+
+    def disable_edge(self, u: int, v: int) -> None:
+        """Cut the undirected edge (u, v) with targeted cache invalidation.
+
+        Only cached state that can have become stale is dropped:
+
+        * single-source Dijkstra entries whose shortest-path *tree* uses the
+          edge (``pred[v] is u`` or ``pred[u] is v``) — any route derived from
+          them might have crossed the cut;
+        * cached plans whose resolved path traverses the edge.
+
+        Plans that avoid the edge remain shortest paths (removing an edge
+        never shortens an alternative route), so they are kept — this is the
+        "targeted invalidation, not full rebuild" contract the emulator's
+        per-packet plan cache relies on during churny scenarios.
+        Registered edge listeners are notified so downstream caches (the
+        emulator's resolved-link plans) can prune the same way.  Idempotent.
+        """
+        if not self._graph.has_edge(u, v):
+            raise RoutingError(f"cannot disable edge ({u}, {v}): not in topology")
+        if (u, v) in self._disabled_edges:
+            return
+        self._disabled_edges.add((u, v))
+        self._disabled_edges.add((v, u))
+        adjacency = self._adjacency
+        if adjacency is not None:
+            adjacency[u] = [pair for pair in adjacency.get(u, ()) if pair[0] != v]
+            adjacency[v] = [pair for pair in adjacency.get(v, ()) if pair[0] != u]
+        for source in [s for s, (dist, pred) in self._sssp_cache.items()
+                       if pred.get(v) == u or pred.get(u) == v]:
+            del self._sssp_cache[source]
+        for key in [k for k, plan in self._plan_cache.items()
+                    if self._plan_uses_edge(plan, u, v)]:
+            del self._plan_cache[key]
+        for callback in self._edge_listeners:
+            callback(u, v)
+
+    def enable_edge(self, u: int, v: int) -> None:
+        """Heal a previously cut edge.
+
+        A restored edge can shorten any cached route, so this performs a full
+        :meth:`invalidate` (which also notifies full-invalidation listeners).
+        Idempotent for edges that are not currently disabled.
+        """
+        if (u, v) not in self._disabled_edges:
+            return
+        self._disabled_edges.discard((u, v))
+        self._disabled_edges.discard((v, u))
+        self.invalidate()
+
+    def disabled_edges(self) -> set[tuple[int, int]]:
+        """The currently cut edges, one canonical (min, max) tuple per edge."""
+        return {(min(u, v), max(u, v)) for u, v in self._disabled_edges}
+
+    def add_edge_invalidation_listener(
+            self, callback: Callable[[int, int], None]) -> None:
+        """Register *callback*\\(u, v) to run whenever an edge is disabled."""
+        self._edge_listeners.append(callback)
 
     def add_invalidation_listener(self, callback: Callable[[], None]) -> None:
         """Register *callback* to run whenever :meth:`invalidate` is called."""

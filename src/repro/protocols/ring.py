@@ -1,0 +1,327 @@
+"""A hand-written successor-ring DHT (Chord without fingers).
+
+The bundled ``specs/*.mac`` protocol suite is loaded from disk and compiled
+by :mod:`repro.codegen`; this module instead *hand-writes* an agent against
+the same runtime tables the generator emits (states, typed messages, timers,
+``fail_detect`` neighbor sets, transitions).  That makes it self-contained —
+usable by the scenario engine's churn benchmarks and the failure-detector
+tests even where the spec directory is absent — and doubles as readable
+documentation of the Agent runtime contract the generator targets.
+
+The protocol is the classic Chord ring stripped to its correctness core:
+
+* **join** — a joiner asks the bootstrap ``find_succ(my_key)``; the lookup
+  walks the ring and the owner's predecessor-to-be replies ``succ_found``;
+* **stabilization** — each node periodically polls its successor for the
+  successor's predecessor and successor-list (``get_state``/``state_reply``)
+  and notifies it (``notify_pred``), the standard ring-repair rule; every
+  ``REFRESH_EVERY`` rounds it additionally re-runs its own lookup through
+  the bootstrap and adopts the answer if it is a tighter successor — the
+  anti-entropy step that re-merges rings separated by a healed partition
+  (plain Chord stabilization cannot merge two disjoint rings);
+* **failure** — the successor and predecessor live in a ``fail_detect``
+  neighbor set, so *f* seconds of silence fires the ``error`` transition,
+  which promotes the next live entry of the successor list (or falls back to
+  re-finding the ring via the bootstrap);
+* **routing** — ``macedon_route(key, payload)`` walks successors until the
+  owner (the node whose ``(pred_key, my_key]`` range covers the key)
+  delivers the payload to the application.
+
+Lookups are O(N) hops — fine at benchmark scale, and the point of the churn
+figure is *success under repair*, not hop count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.agent import (Agent, StateVarSpec, TransitionContext,
+                             TransitionSpec)
+from ..runtime.messages import FieldSpec, MessageType
+from ..runtime.neighbors import NeighborType
+from ..runtime.tracing import TraceLevel
+
+#: Hop budget for ring walks; generously above any benchmark ring size.
+MAX_HOPS = 64
+
+
+class RingDhtAgent(Agent):
+    """Successor-ring DHT agent (hand-written, generator-shaped)."""
+
+    PROTOCOL = "ringdht"
+    ADDRESSING = "hash"
+    TRACE = TraceLevel.OFF
+    #: Stabilization rounds between bootstrap-based successor refreshes.
+    REFRESH_EVERY = 5
+    STATES = ("joining", "stable")
+    TRANSPORT_DECLS = (("TCP", "CTRL"),)
+    NEIGHBOR_TYPES = {"ringpeer": NeighborType("ringpeer", max_size=8)}
+    MESSAGE_TYPES = (
+        MessageType("find_succ", (FieldSpec("target", "key"),
+                                  FieldSpec("origin", "ipaddr"),
+                                  FieldSpec("hops", "int"))),
+        MessageType("succ_found", (FieldSpec("succ", "ipaddr"),)),
+        MessageType("get_state", ()),
+        MessageType("state_reply", (FieldSpec("pred", "ipaddr"),
+                                    FieldSpec("s1", "ipaddr"),
+                                    FieldSpec("s2", "ipaddr"),
+                                    FieldSpec("s3", "ipaddr"))),
+        MessageType("notify_pred", ()),
+        MessageType("data", (FieldSpec("target", "key"),
+                             FieldSpec("hops", "int"))),
+    )
+    STATE_VARS = (
+        StateVarSpec("successor", "var", "ipaddr"),
+        StateVarSpec("predecessor", "var", "ipaddr"),
+        StateVarSpec("succ_list", "list"),
+        StateVarSpec("ring_set", "neighbor_set", "ringpeer", fail_detect=True),
+        StateVarSpec("stabilize", "timer", period=1.0),
+        StateVarSpec("join_retry", "timer", period=2.0),
+    )
+    TRANSITIONS = (
+        TransitionSpec("api", "init", "any", "t_init"),
+        TransitionSpec("api", "route", "stable", "t_route"),
+        TransitionSpec("api", "error", "any", "t_error"),
+        TransitionSpec("recv", "find_succ", "stable", "t_find_succ"),
+        TransitionSpec("recv", "succ_found", "any", "t_succ_found"),
+        TransitionSpec("recv", "get_state", "stable", "t_get_state"),
+        TransitionSpec("recv", "state_reply", "stable", "t_state_reply"),
+        TransitionSpec("recv", "notify_pred", "stable", "t_notify_pred"),
+        TransitionSpec("recv", "data", "stable", "t_data"),
+        TransitionSpec("timer", "stabilize", "stable", "t_stabilize"),
+        TransitionSpec("timer", "join_retry", "any", "t_join_retry"),
+    )
+
+    def __init__(self, node) -> None:
+        super().__init__(node)
+        self._stabilize_rounds = 0
+
+    # ------------------------------------------------------------------ helpers
+    def _key_of(self, address: int) -> int:
+        return self.key_space.hash(address)
+
+    def _owns(self, target: int) -> bool:
+        """Whether *target* falls in this node's ``(pred_key, my_key]`` range."""
+        if self.successor == self.my_addr:
+            return True  # Singleton ring owns the whole key space.
+        if not self.predecessor:
+            return False
+        return self.key_space.between(target, self._key_of(self.predecessor),
+                                      self.my_key, inclusive_end=True)
+
+    def _monitor(self, address: int) -> None:
+        if address and address != self.my_addr and not self.ring_set.query(address):
+            if self.ring_set.is_full:
+                # Evict an entry that is neither successor nor predecessor.
+                for candidate in self.ring_set.addresses():
+                    if candidate not in (self.successor, self.predecessor):
+                        self.neighbor_remove(self.ring_set, candidate)
+                        break
+            if not self.ring_set.is_full:
+                self.neighbor_add(self.ring_set, address,
+                                  key=self._key_of(address))
+
+    def _unmonitor_if_unused(self, address: int) -> None:
+        if address and address not in (self.successor, self.predecessor) \
+                and self.ring_set.query(address):
+            self.neighbor_remove(self.ring_set, address)
+
+    def _set_successor(self, address: int) -> None:
+        previous = self.successor
+        self.successor = address
+        if previous and previous != address:
+            self._unmonitor_if_unused(previous)
+        self._monitor(address)
+
+    def _set_predecessor(self, address: int) -> None:
+        previous = self.predecessor
+        self.predecessor = address
+        if previous and previous != address:
+            self._unmonitor_if_unused(previous)
+        self._monitor(address)
+
+    @property
+    def succ_key(self) -> int:
+        return self._key_of(self.successor) if self.successor else self.my_key
+
+    # -------------------------------------------------------------- transitions
+    def t_init(self, ctx: TransitionContext) -> None:
+        if self.bootstrap_addr == self.my_addr:
+            self._set_successor(self.my_addr)
+            self.state_change("stable")
+            self.timer_sched("stabilize")
+        else:
+            self.state_change("joining")
+            self.send_msg("find_succ", self.bootstrap_addr,
+                          target=self.my_key, origin=self.my_addr,
+                          hops=MAX_HOPS)
+            self.timer_sched("join_retry")
+
+    def t_join_retry(self, ctx: TransitionContext) -> None:
+        """Retry the ring search while joining, or after losing the whole
+        successor list (a stable node whose successor collapsed to itself)."""
+        needs_ring = (self.state == "joining"
+                      or (self.successor == self.my_addr
+                          and self.bootstrap_addr != self.my_addr))
+        if needs_ring and self.bootstrap_addr is not None:
+            self.send_msg("find_succ", self.bootstrap_addr,
+                          target=self.my_key, origin=self.my_addr,
+                          hops=MAX_HOPS)
+            self.timer_sched("join_retry")
+
+    def t_find_succ(self, ctx: TransitionContext) -> None:
+        target = ctx.field("target")
+        origin = ctx.field("origin")
+        if self.successor == self.my_addr or self.key_space.between(
+                target, self.my_key, self.succ_key, inclusive_end=True):
+            # The owner of *target* is this node's successor (which, on a
+            # singleton ring, is this node itself).
+            self.send_msg("succ_found", origin, succ=self.successor)
+            return
+        hops = ctx.field("hops") - 1
+        if hops > 0:
+            self.send_msg("find_succ", self.successor, target=target,
+                          origin=origin, hops=hops)
+
+    def t_succ_found(self, ctx: TransitionContext) -> None:
+        succ = ctx.field("succ")
+        if self.state == "joining":
+            self._set_successor(succ if succ != self.my_addr else self.my_addr)
+            self.state_change("stable")
+            self.timer_cancel("join_retry")
+            self.timer_sched("stabilize")
+            if self.successor != self.my_addr:
+                self.send_msg("notify_pred", self.successor)
+            return
+        # Stable: a bootstrap-refresh answer.  Adopt it only if it tightens
+        # the successor pointer (strictly between us and the current
+        # successor) or reconnects a detached node — this is what re-merges
+        # two rings after a partition heals.
+        if not succ or succ == self.my_addr:
+            return
+        if self.successor == self.my_addr or self.key_space.between(
+                self._key_of(succ), self.my_key, self.succ_key):
+            self._set_successor(succ)
+            self.send_msg("notify_pred", self.successor)
+
+    def t_stabilize(self, ctx: TransitionContext) -> None:
+        if self.successor == self.my_addr and self.predecessor:
+            # Singleton with a known predecessor: close the two-node ring.
+            self._set_successor(self.predecessor)
+        if self.successor != self.my_addr:
+            self.send_msg("get_state", self.successor)
+            self.send_msg("notify_pred", self.successor)
+        elif self.bootstrap_addr != self.my_addr:
+            # Lost every successor: go hunting for the ring again.
+            self.timer_sched("join_retry")
+        self._stabilize_rounds += 1
+        if (self._stabilize_rounds % self.REFRESH_EVERY == 0
+                and self.bootstrap_addr not in (None, self.my_addr)):
+            self.send_msg("find_succ", self.bootstrap_addr,
+                          target=self.my_key, origin=self.my_addr,
+                          hops=MAX_HOPS)
+        self.timer_sched("stabilize")
+
+    def t_get_state(self, ctx: TransitionContext) -> None:
+        chain = [self.successor] + [addr for addr in self.succ_list
+                                    if addr != self.successor]
+        chain += [0, 0, 0]
+        self.send_msg("state_reply", ctx.source, pred=self.predecessor,
+                      s1=chain[0], s2=chain[1], s3=chain[2])
+
+    def t_state_reply(self, ctx: TransitionContext) -> None:
+        candidate = ctx.field("pred")
+        if candidate and candidate != self.my_addr and (
+                self.successor == self.my_addr or self.key_space.between(
+                    self._key_of(candidate), self.my_key, self.succ_key)):
+            # Someone slotted in between us and our successor.
+            self._set_successor(candidate)
+            self.send_msg("notify_pred", self.successor)
+        chain = [self.successor]
+        for addr in (ctx.field("s1"), ctx.field("s2"), ctx.field("s3")):
+            if addr and addr != self.my_addr and addr not in chain:
+                chain.append(addr)
+        self.succ_list = chain[:4]
+
+    def t_notify_pred(self, ctx: TransitionContext) -> None:
+        candidate = ctx.source
+        if candidate is None or candidate == self.my_addr:
+            return
+        if (not self.predecessor
+                or self.key_space.between(self._key_of(candidate),
+                                          self._key_of(self.predecessor),
+                                          self.my_key)):
+            self._set_predecessor(candidate)
+        if self.successor == self.my_addr:
+            # Singleton bootstrap learning of its first peer.
+            self._set_successor(candidate)
+
+    def t_route(self, ctx: TransitionContext) -> None:
+        self._route_data(ctx.dest_key, ctx.payload, ctx.payload_size, MAX_HOPS)
+
+    def t_data(self, ctx: TransitionContext) -> None:
+        self._route_data(ctx.field("target"), ctx.payload, ctx.payload_size,
+                         ctx.field("hops"))
+
+    def _route_data(self, target: int, payload, payload_size: int,
+                    hops: int) -> None:
+        if self._owns(target):
+            self.upcall_deliver(payload, payload_size, "data")
+            return
+        if hops <= 0 or self.successor == self.my_addr:
+            return  # Hop budget exhausted or detached from the ring: lost.
+        self.send_msg("data", self.successor, target=target, hops=hops - 1,
+                      payload=payload, payload_size=payload_size)
+
+    def t_error(self, ctx: TransitionContext) -> None:
+        failed = ctx.error_addr
+        if self.ring_set.query(failed):
+            self.neighbor_remove(self.ring_set, failed)
+        self.succ_list = [addr for addr in self.succ_list if addr != failed]
+        if failed == self.predecessor:
+            self.predecessor = 0
+        if failed == self.successor:
+            replacement = 0
+            for addr in self.succ_list:
+                if addr != failed and addr != self.my_addr:
+                    replacement = addr
+                    break
+            if not replacement and self.predecessor:
+                replacement = self.predecessor
+            self._set_successor(replacement or self.my_addr)
+            if self.successor != self.my_addr:
+                self.send_msg("notify_pred", self.successor)
+            else:
+                self.timer_sched("join_retry")
+
+    # ------------------------------------------------------------- inspection
+    def ring_view(self) -> dict[str, int]:
+        """Successor/predecessor snapshot, for tests and health checks."""
+        return {"successor": self.successor, "predecessor": self.predecessor}
+
+
+def ring_agent() -> type[RingDhtAgent]:
+    """Accessor mirroring the registry-backed ``chord_agent()`` style."""
+    return RingDhtAgent
+
+
+def ring_successor_correctness(nodes, protocol: str = "ringdht") -> float:
+    """Fraction of live nodes whose successor pointer is globally correct.
+
+    The ring analogue of Figure 10's correct-route-entries metric: with
+    global knowledge of the live membership, node *i*'s correct successor is
+    the live node whose key follows it clockwise.
+    """
+    live = [node for node in nodes if getattr(node, "alive", True)
+            and node.initialized]
+    if not live:
+        return 0.0
+    key_space = live[0].agent(protocol).key_space
+    keyed = sorted((key_space.hash(node.address), node.address)
+                   for node in live)
+    correct_succ = {}
+    for index, (key, address) in enumerate(keyed):
+        correct_succ[address] = keyed[(index + 1) % len(keyed)][1]
+    hits = sum(1 for node in live
+               if node.agent(protocol).successor == correct_succ[node.address])
+    return hits / len(live)

@@ -592,6 +592,16 @@ class Agent:
         return self.upcall_forward(payload, size, mtype, next_hop, next_hop_key,
                                    source=source)
 
+    # -- lifecycle -------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Silence this agent for a fail-stop crash.
+
+        Cancels every pending timer so a crashed node schedules nothing
+        further; the node recreates agents from scratch on recovery, so no
+        state is preserved here (that is the point of fail-stop).
+        """
+        self._timers.cancel_all()
+
     # -- error / failure ------------------------------------------------------------
     def peer_failed(self, address: int) -> None:
         """Invoked by the node's failure detector when a monitored peer dies."""

@@ -88,6 +88,17 @@ class FailureDetector:
             self._handle.cancel()
             self._handle = None
 
+    def reset(self) -> None:
+        """Forget all monitored peers and liveness history.
+
+        Used by the node's crash path: a fail-stop node loses its detector
+        state, and the fresh agent stack built on recovery re-registers its
+        monitored peers from scratch.
+        """
+        self._monitored.clear()
+        self._last_heard.clear()
+        self.stats.monitored_peers = 0
+
     def _schedule_check(self) -> None:
         if not self._running:
             return

@@ -57,6 +57,8 @@ class MacedonNode:
         self.tracer = tracer if tracer is not None else Tracer()
         self.strict_locking = strict_locking
         self.handlers = Handlers()
+        self._agent_classes = list(agent_classes)
+        self._failure_config = failure_config
 
         host = emulator.attach_host(topology_node)
         self.address: int = host.address
@@ -71,10 +73,14 @@ class MacedonNode:
             config=failure_config,
         )
 
-        self.stack = ProtocolStack(self, agent_classes)
+        self.stack = ProtocolStack(self, self._agent_classes)
         self.stack.validate_layering()
         self._declare_transports()
         self.initialized = False
+        self.crashed = False
+        #: Lifecycle counters (how often this node fail-stopped / recovered).
+        self.crash_count = 0
+        self.recover_count = 0
 
     # ------------------------------------------------------------------- setup
     def _declare_transports(self) -> None:
@@ -97,6 +103,67 @@ class MacedonNode:
             return declared[0][1]
         return self.transport_host.DEFAULT_TRANSPORT
 
+    # --------------------------------------------------------------- lifecycle
+    @property
+    def alive(self) -> bool:
+        return not self.crashed
+
+    def crash(self) -> None:
+        """Fail-stop this node (the scenario engine's kill primitive).
+
+        Everything that could generate future events is silenced: protocol
+        and runtime timers are cancelled, the transport subsystem drops its
+        retransmission state and mutes both directions, the failure detector
+        stops sweeping and forgets its peers, and the emulated host detaches
+        so in-flight packets addressed to it are dropped.  Peers keep their
+        own failure detectors running, which is exactly what drives their
+        ``error`` API transitions *f* seconds of silence later.  Idempotent.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_count += 1
+        self.initialized = False
+        self.failure_detector.stop()
+        self.failure_detector.reset()
+        for agent in self.stack:
+            agent.shutdown()
+        self.transport_host.shutdown()
+        self.emulator.detach_host(self.address)
+
+    def recover(self, bootstrap: Optional[int] = None) -> None:
+        """Restart a crashed node with a factory-fresh protocol stack.
+
+        The host reattaches at its old address and attachment point, a new
+        transport subsystem replaces the dead one (re-registering the
+        network receive callback), the failure detector starts from a clean
+        slate, and the agent stack is rebuilt from the original classes —
+        fail-stop recovery loses all protocol state, as in the paper's
+        ModelNet kill/restart runs.  Passing *bootstrap* immediately re-joins
+        the overlay via :meth:`macedon_init`; omit it to leave the node up
+        but idle.  Idempotent for nodes that are not crashed.
+        """
+        if not self.crashed:
+            return
+        self.recover_count += 1
+        self.emulator.reattach_host(self.address)
+        self.transport_host = TransportHost(self.simulator, self.emulator,
+                                            self.address,
+                                            epoch=self.crash_count)
+        self.transport_host.set_deliver_upcall(self._on_transport_deliver)
+        self.failure_detector = FailureDetector(
+            self.simulator,
+            send_heartbeat=self._send_heartbeat,
+            on_failure=self._on_peer_failure,
+            config=self._failure_config,
+        )
+        self.stack = ProtocolStack(self, self._agent_classes)
+        self.stack.validate_layering()
+        self._declare_transports()
+        self.crashed = False
+        if bootstrap is not None:
+            self.macedon_init(bootstrap)
+
     # --------------------------------------------------------------- MACEDON API
     def macedon_init(self, bootstrap: int, protocol: Optional[str] = None) -> None:
         """Initialise the stack (``macedon_init`` in Figure 3).
@@ -106,6 +173,9 @@ class MacedonNode:
         accepted for API fidelity; the stack already fixes which protocols run.
         """
         del protocol  # The stack composition determines the protocols.
+        if self.crashed:
+            raise RuntimeError(
+                f"macedon_init on crashed node {self.address}; call recover() first")
         self.failure_detector.start()
         for agent in self.stack:
             agent.api_call("init", TransitionContext(bootstrap=int(bootstrap)))

@@ -68,6 +68,21 @@ class Segment:
     #: Index / count of this segment within its logical message.
     chunk: int = 0
     chunks: int = 1
+    #: Incarnation of the sending host (bumped on fail-stop recovery).  The
+    #: reliable transports use it the way TCP uses new ISNs after a restart:
+    #: a higher epoch from a peer resets the connection, a lower one is a
+    #: stale pre-crash segment and is discarded.
+    epoch: int = 0
+    #: The incarnation the sender believes the *destination* is running.  A
+    #: receiver that has restarted past this value drops the segment (it was
+    #: aimed at its dead incarnation) and answers with a challenge ACK
+    #: carrying its current epoch.  The sender then resets the connection
+    #: and continues on a fresh stream; segments already in flight to the
+    #: dead incarnation are LOST, exactly as unacknowledged data is lost in
+    #: a real TCP connection reset (the restarted receiver has no state to
+    #: deliver them into).  Queued-but-untransmitted messages ride the new
+    #: stream.
+    dest_epoch: int = 0
 
 
 @dataclass
@@ -101,6 +116,9 @@ class Transport(abc.ABC):
         self.simulator = simulator
         self.emulator = emulator
         self.local_address = local_address
+        #: This host's incarnation number, stamped on every outgoing segment
+        #: (set by the TransportHost; 0 for a host that never crashed).
+        self.epoch = 0
         self.stats = TransportStats()
         self._deliver_upcall: Optional[DeliverUpcall] = None
         self._msg_ids = itertools.count(1)
@@ -152,6 +170,13 @@ class Transport(abc.ABC):
     @abc.abstractmethod
     def handle_segment(self, src: int, segment: Segment) -> None:
         """Process a segment received from host *src*."""
+
+    def close(self) -> None:
+        """Release timers and queued state (fail-stop crash of the host).
+
+        Base implementation is a no-op; transports with retransmission timers
+        or send queues override it so a crashed node stops generating events.
+        """
 
     # ------------------------------------------------------------------ helpers
     def next_msg_id(self) -> int:

@@ -38,12 +38,17 @@ class TransportHost:
     DEFAULT_TRANSPORT = "DEFAULT"
 
     def __init__(self, simulator: Simulator, emulator: NetworkEmulator,
-                 local_address: int) -> None:
+                 local_address: int, *, epoch: int = 0) -> None:
         self.simulator = simulator
         self.emulator = emulator
         self.local_address = local_address
+        #: Incarnation of this host (bumped across fail-stop recoveries);
+        #: stamped on outgoing segments so peers reset dead connections.
+        self.epoch = epoch
         self._transports: dict[str, Transport] = {}
         self._deliver_upcall: Optional[DeliverUpcall] = None
+        #: False after shutdown(): sends are dropped, arrivals ignored.
+        self.active = True
         emulator.set_receive_callback(local_address, self._on_packet)
 
     # ----------------------------------------------------------------- config
@@ -54,6 +59,7 @@ class TransportHost:
         transport_cls = _TRANSPORT_CLASSES[kind]
         transport = transport_cls(name, self.simulator, self.emulator,
                                   self.local_address, **options)
+        transport.epoch = self.epoch
         if self._deliver_upcall is not None:
             transport.set_deliver_upcall(self._deliver_upcall)
         self._transports[name] = transport
@@ -91,10 +97,27 @@ class TransportHost:
     def send(self, transport_name: str, dst: int, payload: Any, size: int,
              payload_tag: Optional[str] = None) -> None:
         """Send *payload* via the named transport instance."""
+        if not self.active:
+            return  # Crashed host: outgoing traffic silently vanishes.
         self.get(transport_name).send(dst, payload, size, payload_tag)
+
+    # --------------------------------------------------------------- lifecycle
+    def shutdown(self) -> None:
+        """Silence this host's transport subsystem (fail-stop crash).
+
+        Cancels retransmission timers, drops queued segments, and mutes both
+        directions: no segment is sent or processed afterwards.  The node
+        builds a *fresh* TransportHost on recovery (re-registering the
+        receive callback), so a shut-down host is never revived in place.
+        """
+        self.active = False
+        for transport in self._transports.values():
+            transport.close()
 
     # ----------------------------------------------------------------- receive
     def _on_packet(self, packet: Packet) -> None:
+        if not self.active:
+            return  # Crashed host: arrivals fall on dead silicon.
         segment = packet.payload
         if not isinstance(segment, Segment):
             # Not transport traffic (e.g. a raw test packet); ignore silently.

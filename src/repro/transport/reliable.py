@@ -124,6 +124,8 @@ class ReliableConnection:
         self.expected_seq = 0
         self.out_of_order: dict[int, Segment] = {}
         self._assembly: dict[int, dict[str, Any]] = {}
+        #: Last incarnation seen from the peer; None until the first segment.
+        self.peer_epoch: Optional[int] = None
 
     # ------------------------------------------------------------------ sender
     def enqueue(self, segment: Segment, size: int, payload_tag: Optional[str]) -> None:
@@ -141,13 +143,24 @@ class ReliableConnection:
             self.next_seq += 1
             self._transmit(item.segment, item.size, item.payload_tag)
 
+    def _stamp(self, segment: Segment) -> Segment:
+        """Stamp the destination incarnation at transmission time.
+
+        Re-stamped on every (re)transmission, not at enqueue: the sender may
+        learn the peer restarted (via a challenge ACK) while a segment sits
+        in the queue or awaits retransmission.
+        """
+        segment.dest_epoch = self.peer_epoch if self.peer_epoch is not None else 0
+        return segment
+
     def _transmit(self, segment: Segment, size: int,
                   payload_tag: Optional[str], retransmit: bool = False) -> None:
         now = self.transport.simulator.now
         self.in_flight[segment.seq] = _InFlight(segment=segment, size=size,
                                                 sent_at=now,
                                                 retransmitted=retransmit)
-        self.transport._send_packet(self.peer, segment, size, payload_tag)
+        self.transport._send_packet(self.peer, self._stamp(segment), size,
+                                    payload_tag)
         if retransmit:
             self.transport.stats.retransmissions += 1
         self._arm_timer()
@@ -162,6 +175,41 @@ class ReliableConnection:
             self.rto, self._on_timeout, label=f"rto:{self.transport.name}:{self.peer}"
         )
 
+    def close(self) -> None:
+        """Drop all connection state and cancel the retransmission timer."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self.queue.clear()
+        self.in_flight.clear()
+        self.out_of_order.clear()
+        self._assembly.clear()
+
+    def reset_for_peer_restart(self, epoch: int) -> None:
+        """The peer fail-stopped and came back: start a fresh byte stream.
+
+        Everything in flight toward the old incarnation is void (its receiver
+        restarted at sequence zero and will never acknowledge the old
+        stream), and the old incarnation's unfinished inbound stream will
+        never complete — the losses a real TCP connection reset incurs.
+        Segments already queued but not yet transmitted are kept: they get
+        sequence numbers at transmission time, so they simply ride the new
+        stream.
+        """
+        self.peer_epoch = epoch
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self.in_flight.clear()
+        self.next_seq = 0
+        self.send_base = 0
+        self.dup_acks = 0
+        self.rto = self.INITIAL_RTO
+        self.expected_seq = 0
+        self.out_of_order.clear()
+        self._assembly.clear()
+        self._pump()
+
     def _on_timeout(self) -> None:
         if not self.in_flight:
             self._timer = None
@@ -172,7 +220,8 @@ class ReliableConnection:
         entry = self.in_flight[oldest_seq]
         entry.retransmitted = True
         entry.sent_at = self.transport.simulator.now
-        self.transport._send_packet(self.peer, entry.segment, entry.size, None)
+        self.transport._send_packet(self.peer, self._stamp(entry.segment),
+                                    entry.size, None)
         self.transport.stats.retransmissions += 1
         self._arm_timer()
 
@@ -184,7 +233,8 @@ class ReliableConnection:
                 self.policy.on_fast_retransmit()
                 entry = self.in_flight[self.send_base]
                 entry.retransmitted = True
-                self.transport._send_packet(self.peer, entry.segment, entry.size, None)
+                self.transport._send_packet(self.peer, self._stamp(entry.segment),
+                                            entry.size, None)
                 self.transport.stats.retransmissions += 1
                 self.dup_acks = 0
             return
@@ -224,8 +274,15 @@ class ReliableConnection:
 
     def _send_ack(self) -> None:
         ack_segment = Segment(transport=self.transport.name, kind="ACK",
-                              seq=0, ack=self.expected_seq)
-        self.transport._send_packet(self.peer, ack_segment, self.ACK_SIZE, None)
+                              seq=0, ack=self.expected_seq,
+                              epoch=self.transport.epoch)
+        self.transport._send_packet(self.peer, self._stamp(ack_segment),
+                                    self.ACK_SIZE, None)
+
+    def send_challenge_ack(self) -> None:
+        """Tell the peer our current incarnation (its segment targeted a dead
+        one); carries no cumulative-ACK meaning beyond the epoch."""
+        self._send_ack()
 
     def _assemble(self, segment: Segment) -> None:
         if segment.chunks <= 1:
@@ -267,7 +324,7 @@ class ReliableTransport(Transport):
         connection = self._connection(dst)
         if size <= self.MSS:
             segment = Segment(transport=self.name, kind="DATA", seq=0,
-                              payload=payload, size=size)
+                              payload=payload, size=size, epoch=self.epoch)
             connection.enqueue(segment, max(size, 1), payload_tag)
             return
         msg_id = self.next_msg_id()
@@ -280,16 +337,39 @@ class ReliableTransport(Transport):
                 transport=self.name, kind="DATA", seq=0,
                 payload=payload if index == 0 else None,
                 size=chunk_size, msg_id=msg_id, chunk=index, chunks=chunks,
+                epoch=self.epoch,
             )
             connection.enqueue(segment, chunk_size, payload_tag)
 
     def handle_segment(self, src: int, segment: Segment) -> None:
         self.stats.segments_received += 1
         connection = self._connection(src)
+        epoch = segment.epoch
+        if connection.peer_epoch is None:
+            connection.peer_epoch = epoch
+        elif epoch > connection.peer_epoch:
+            # The peer fail-stopped and restarted: its old stream is gone.
+            connection.reset_for_peer_restart(epoch)
+        elif epoch < connection.peer_epoch:
+            return  # Stale segment from a dead incarnation of the peer.
+        if segment.dest_epoch < self.epoch:
+            # Aimed at a dead incarnation of this host (e.g. a retransmission
+            # of pre-crash traffic racing our recovery).  It must not touch
+            # the fresh streams — buffering it would later deliver stale data
+            # and shadow a genuine same-seq segment.  Challenge-ACK so the
+            # live sender learns our epoch, resets, and retries.
+            connection.send_challenge_ack()
+            return
         if segment.kind == "ACK":
             connection.handle_ack(segment.ack)
         else:
             connection.handle_data(segment)
+
+    def close(self) -> None:
+        """Cancel every connection's retransmission timer and drop queues."""
+        for connection in self._connections.values():
+            connection.close()
+        self._connections.clear()
 
     def queued_bytes(self, dst: Optional[int] = None) -> int:
         if dst is not None:

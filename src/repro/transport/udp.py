@@ -26,7 +26,7 @@ class UdpTransport(Transport):
         self.stats.messages_sent += 1
         if size <= self.MSS:
             segment = Segment(transport=self.name, kind="DATA", seq=0,
-                              payload=payload, size=size)
+                              payload=payload, size=size, epoch=self.epoch)
             self._send_packet(dst, segment, size, payload_tag)
             return
         # Fragment oversized messages; the receiver reassembles, and if any
@@ -41,6 +41,7 @@ class UdpTransport(Transport):
                 transport=self.name, kind="DATA", seq=index,
                 payload=payload if index == 0 else None,
                 size=chunk_size, msg_id=msg_id, chunk=index, chunks=chunks,
+                epoch=self.epoch,
             )
             self._send_packet(dst, segment, chunk_size, payload_tag)
 

@@ -1,0 +1,177 @@
+"""Tests for the emulator/router fault hooks the scenario engine drives."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.network.emulator import NetworkEmulator
+from repro.network.packet import Packet
+from repro.network.router import RoutingError
+from repro.network.topology import (BANDWIDTH_ATTR, LATENCY_ATTR, ROLE_ATTR,
+                                    Topology, TopologyError,
+                                    transit_stub_topology)
+from repro.runtime.engine import Simulator
+
+
+def build(num_hosts: int = 4, seed: int = 1):
+    simulator = Simulator(seed=seed)
+    emulator = NetworkEmulator(simulator, transit_stub_topology(num_hosts, seed=seed))
+    addresses = [emulator.attach_host().address for _ in range(num_hosts)]
+    return simulator, emulator, addresses
+
+
+# ------------------------------------------------------------- detach/reattach
+def test_detach_host_drops_instead_of_raising():
+    simulator, emulator, (a, b, *_) = build()
+    emulator.detach_host(b)
+    assert not emulator.send(Packet(src=a, dst=b, payload=None, size=10))
+    assert not emulator.send(Packet(src=b, dst=a, payload=None, size=10))
+    assert emulator.stats.packets_dropped == 2
+    # Reattach restores normal delivery.
+    emulator.reattach_host(b)
+    received = []
+    emulator.set_receive_callback(b, received.append)
+    assert emulator.send(Packet(src=a, dst=b, payload=None, size=10))
+    simulator.run()
+    assert len(received) == 1
+
+
+def test_detach_mid_flight_drops_at_delivery():
+    simulator, emulator, (a, b, *_) = build()
+    received = []
+    emulator.set_receive_callback(b, received.append)
+    assert emulator.send(Packet(src=a, dst=b, payload=None, size=10))
+    emulator.detach_host(b)  # after send, before delivery
+    simulator.run()
+    assert received == []
+    assert emulator.stats.packets_dropped == 1
+
+
+def test_detach_and_reattach_are_idempotent():
+    _, emulator, (a, *_) = build()
+    emulator.detach_host(a)
+    emulator.detach_host(a)
+    assert emulator._detached_count == 1
+    emulator.reattach_host(a)
+    emulator.reattach_host(a)
+    assert emulator._detached_count == 0
+    assert not emulator._faults_active
+
+
+# ------------------------------------------------------------------- partitions
+def test_host_partition_blocks_cross_group_traffic_only():
+    simulator, emulator, (a, b, c, d) = build()
+    delivered = []
+    for address in (a, b, c, d):
+        emulator.set_receive_callback(address, delivered.append)
+    emulator.partition_hosts([[a, b], [c, d]])
+    assert emulator.send(Packet(src=a, dst=b, payload=None, size=10))      # same side
+    assert not emulator.send(Packet(src=a, dst=c, payload=None, size=10))  # across
+    assert not emulator.send(Packet(src=d, dst=b, payload=None, size=10))  # across
+    emulator.heal_partition()
+    assert emulator.send(Packet(src=a, dst=c, payload=None, size=10))
+    simulator.run()
+    assert len(delivered) == 2
+
+
+def test_single_group_partition_isolates_its_members():
+    simulator, emulator, (a, b, c, d) = build()
+    emulator.partition_hosts([[c, d]])
+    assert emulator.send(Packet(src=c, dst=d, payload=None, size=10))       # inside
+    assert emulator.send(Packet(src=a, dst=b, payload=None, size=10))       # outside
+    assert not emulator.send(Packet(src=a, dst=c, payload=None, size=10))   # across
+    assert not emulator.send(Packet(src=d, dst=b, payload=None, size=10))   # across
+    simulator.run()
+
+
+# -------------------------------------------------------------------- link cuts
+def test_disable_link_reroutes_and_enable_restores():
+    simulator, emulator, (a, b, *_) = build(num_hosts=6, seed=2)
+    before = emulator.ip_path(a, b)
+    assert len(before) > 2
+    # Cut an interior edge of the current path: traffic routes around it.
+    u, v = before[1], before[2]
+    emulator.disable_link(u, v)
+    after = emulator.ip_path(a, b)
+    assert (u, v) not in zip(after[:-1], after[1:])
+    assert (v, u) not in zip(after[:-1], after[1:])
+    assert not emulator._links[(u, v)].enabled
+    received = []
+    emulator.set_receive_callback(b, received.append)
+    assert emulator.send(Packet(src=a, dst=b, payload=None, size=10))
+    simulator.run()
+    assert len(received) == 1
+    assert list(received[0].path) == after
+    # Healing restores the original shortest path.
+    emulator.enable_link(u, v)
+    assert emulator.ip_path(a, b) == before
+    assert emulator._links[(u, v)].enabled
+
+
+def test_disable_link_invalidation_is_targeted():
+    simulator, emulator, addresses = build(num_hosts=6, seed=3)
+    a, b, c, d = addresses[:4]
+    # Warm two plans.
+    emulator.send(Packet(src=a, dst=b, payload=None, size=10))
+    emulator.send(Packet(src=c, dst=d, payload=None, size=10))
+    nodes = {addr: emulator._host(addr).node for addr in (a, b, c, d)}
+    path_ab = emulator.ip_path(a, b)
+    path_cd = emulator.ip_path(c, d)
+    # Pick an edge on a->b that c->d does not use.
+    edges_cd = set(zip(path_cd[:-1], path_cd[1:])) | set(zip(path_cd[1:], path_cd[:-1]))
+    cut = next((u, v) for u, v in zip(path_ab[:-1], path_ab[1:])
+               if (u, v) not in edges_cd)
+    untouched_key = (nodes[c], nodes[d])
+    cut_key = (nodes[a], nodes[b])
+    assert untouched_key in emulator._routes and cut_key in emulator._routes
+    emulator.disable_link(*cut)
+    assert untouched_key in emulator._routes     # targeted: survivor kept
+    assert cut_key not in emulator._routes       # traversing plan pruned
+    simulator.run()
+
+
+def test_cutting_the_only_path_drops_packets():
+    simulator, emulator, (a, *_) = build()
+    # A client's single access link is its only way out.
+    client_node = emulator._host(a).node
+    (stub,) = list(emulator.topology.graph.neighbors(client_node))
+    emulator.disable_link(client_node, stub)
+    other = emulator.hosts[1].address
+    assert not emulator.send(Packet(src=a, dst=other, payload=None, size=10))
+    assert emulator.stats.packets_dropped == 1
+    with pytest.raises(RoutingError):
+        emulator.ip_path(a, other)
+    emulator.enable_link(client_node, stub)
+    assert emulator.send(Packet(src=a, dst=other, payload=None, size=10))
+
+
+def test_disable_unknown_edge_raises():
+    _, emulator, _ = build()
+    with pytest.raises(RoutingError):
+        emulator.disable_link(10_000, 10_001)
+
+
+# --------------------------------------------------------------- attach errors
+def test_attach_on_clientless_topology_raises_actionable_error():
+    graph = nx.Graph()
+    graph.add_node(0, **{ROLE_ATTR: "transit"})
+    graph.add_node(1, **{ROLE_ATTR: "transit"})
+    graph.add_edge(0, 1, **{LATENCY_ATTR: 0.01, BANDWIDTH_ATTR: 1e6})
+    topology = Topology(graph=graph, clients=[], name="no-clients")
+    emulator = NetworkEmulator(Simulator(seed=1), topology)
+    with pytest.raises(TopologyError, match="no-clients"):
+        emulator.attach_host()
+
+
+def test_fault_free_hot_path_is_unchanged():
+    """With no faults ever injected, the fault branch must never fire and
+    stats must match a pre-fault-hook run exactly (same counters)."""
+    simulator, emulator, (a, b, *_) = build()
+    assert not emulator._faults_active
+    for _ in range(5):
+        emulator.send(Packet(src=a, dst=b, payload=None, size=50))
+    simulator.run()
+    assert emulator.stats.packets_sent == 5
+    assert emulator.stats.packets_delivered == 5
+    assert emulator.stats.packets_dropped == 0
