@@ -1,30 +1,28 @@
-"""Lookup success under churn — the figure the paper discusses but the repo
-could not previously produce.
+"""Lookup success under churn, on the generated Chord specification.
 
 The paper's evaluation argues MACEDON overlays keep working "through joins,
 failures, and recovery"; this benchmark quantifies that for the DHT routing
-path: a ring DHT serves random-key lookups while 10% of the membership
-fail-stops and rejoins (plus a no-churn control), executed by the scenario
-engine across three seeds and aggregated by :class:`ScenarioRunner`.
+path: registry-compiled Chord (``specs/chord.mac``) serves random-key
+lookups while 10% of the membership fail-stops and rejoins (plus a no-churn
+control), executed by the scenario engine across three seeds and aggregated
+by :class:`ScenarioRunner`.
 
 Qualitative assertions (absolute numbers live in ``BENCH_core.json`` via
 ``scripts/run_benchmarks.py``):
 
 * without churn, a converged ring serves essentially every lookup;
 * under 10% churn, success degrades but stays above 60% — repairs (failure
-  detection, successor-list promotion, rejoin) keep the ring routable;
-* the ring's successor pointers re-converge by the end of the run.
-
-Uses the self-contained hand-written ring DHT (Chord's successor core);
-the registry-compiled Chord/Pastry specs slot into the same spec once the
-``specs/*.mac`` suite lands.
+  detection, successor promotion, finger pruning, rejoin) keep the overlay
+  routable;
+* Chord's successor pointers re-converge by the end of the run.
 """
 
 from __future__ import annotations
 
 from repro.eval import ChurnModel, ScenarioRunner, ScenarioSpec, WorkloadModel
 from repro.eval.reports import format_table
-from repro.protocols.ring import ring_agent, ring_successor_correctness
+from repro.protocols import chord_agent
+from repro.protocols.ring import ring_successor_correctness
 from repro.runtime.failure import FailureDetectorConfig
 
 NUM_NODES = 20
@@ -38,8 +36,8 @@ FAILURE = FailureDetectorConfig(failure_timeout=10.0, heartbeat_timeout=4.0,
 
 def churn_spec(churn_fraction: float) -> ScenarioSpec:
     return ScenarioSpec(
-        name=f"ring-churn-{int(churn_fraction * 100)}pct",
-        agents=[ring_agent()],
+        name=f"chord-churn-{int(churn_fraction * 100)}pct",
+        agents=lambda: [chord_agent()],
         num_nodes=NUM_NODES,
         duration=DURATION,
         failure_config=FAILURE,
@@ -71,14 +69,14 @@ def test_scenario_lookup_success_under_churn(once):
     print()
     print(format_table(
         ["scenario", "lookup success", "stddev", "latency ms", "crashes"],
-        rows, title=f"Ring DHT lookups, {NUM_NODES} nodes, seeds {list(SEEDS)}"))
+        rows, title=f"Chord lookups, {NUM_NODES} nodes, seeds {list(SEEDS)}"))
 
     assert len(control.results) == len(SEEDS)
     assert len(churny.results) == len(SEEDS)
 
     control_success = control.metric("workload.success_ratio")
     churn_success = churny.metric("workload.success_ratio")
-    # A converged, churn-free ring serves essentially everything.
+    # A converged, churn-free overlay serves essentially everything.
     assert control_success.minimum > 0.95
     # Churn hurts, but repair keeps the overlay routable.
     assert churn_success.mean <= control_success.mean
@@ -87,4 +85,5 @@ def test_scenario_lookup_success_under_churn(once):
     assert churny.metric("nodes.crashes").minimum >= 1
     # The ring repairs itself by the end of every seeded run.
     for result in churny.results:
-        assert ring_successor_correctness(result.experiment.nodes) >= 0.8
+        assert ring_successor_correctness(result.experiment.nodes,
+                                          "chord") >= 0.8

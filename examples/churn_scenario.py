@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """A full fault scenario: churn + a correlated crash + a healed partition.
 
-Demonstrates the scenario subsystem end to end on the self-contained ring
-DHT: declarative fault models compiled onto the simulator timeline, a
-measurement workload that keeps scoring lookups while the overlay repairs
+Demonstrates the scenario subsystem end to end on the registry-compiled
+Chord specification (specs/chord.mac): declarative fault models compiled
+onto the simulator timeline, a measurement workload that keeps scoring lookups while the overlay repairs
 itself, and the multi-seed runner that aggregates the results.
 
 Run with:  python examples/churn_scenario.py
@@ -21,12 +21,13 @@ from repro.eval import (
     WorkloadModel,
 )
 from repro.eval.reports import format_series
-from repro.protocols.ring import ring_agent, ring_successor_correctness
+from repro.protocols import chord_agent
+from repro.protocols.ring import ring_successor_correctness
 from repro.runtime.failure import FailureDetectorConfig
 
 SPEC = ScenarioSpec(
-    name="ring-under-fire",
-    agents=[ring_agent()],
+    name="chord-under-fire",
+    agents=lambda: [chord_agent()],
     num_nodes=16,
     duration=240.0,
     # Aggressive f/g so repairs happen on a demo-friendly timescale.
@@ -46,14 +47,14 @@ SPEC = ScenarioSpec(
         WorkloadModel(kind="route", source=-1, start=40.0, packets=120, gap=1.5),
     ),
     samples=(SampleSeries("succ_correctness", 10.0,
-                          lambda exp: ring_successor_correctness(exp.nodes)),),
+                          lambda exp: ring_successor_correctness(exp.nodes, "chord")),),
 )
 
 
 def main() -> None:
     # One seed in detail: the repair timeline.
     result = SPEC.run()
-    print(format_series("ring successor correctness under faults",
+    print(format_series("chord successor correctness under faults",
                         result.series["succ_correctness"],
                         x_label="time s", y_label="fraction correct"))
     print("\nfault timeline:")

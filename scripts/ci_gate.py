@@ -1,23 +1,26 @@
 #!/usr/bin/env python
-"""No-regression gate over the tier-1 suite.
+"""No-regression gate over the tier-1 suite, with a shrink-only baseline.
 
-The seed repository ships without the bundled ``specs/*.mac`` protocol
-suite, so a known set of spec-dependent tests fails until it lands (see
-ROADMAP.md).  Plain ``pytest -x`` would therefore be red on every commit and
-useless as CI.  This gate runs the full suite and compares the failing set
-against the committed baseline in ``tests/known_failures.txt``:
+This gate runs the full suite and compares the failing set against the
+committed baseline in ``tests/known_failures.txt``:
 
 * a failure **not** in the baseline is a regression → exit 1;
-* a baseline entry that now passes is progress → reported, and the baseline
-  should be pruned in the same PR that fixed it.
+* a baseline entry that now **passes** is stale → exit 1 until it is pruned
+  in the same PR that fixed it.
+
+The second rule makes the baseline monotonically shrinking: entries can
+only ever be removed (when fixed) or added deliberately alongside the
+commit that knowingly introduces a failure, never silently resurrected.
 
 Usage::
 
-    python scripts/ci_gate.py            # runs pytest, applies the gate
+    python scripts/ci_gate.py                             # run + gate
+    python scripts/ci_gate.py --junitxml report.xml       # also write junit
 """
 
 from __future__ import annotations
 
+import argparse
 import re
 import subprocess
 import sys
@@ -33,22 +36,33 @@ def load_baseline() -> set[str]:
             if line.strip() and not line.startswith("#")}
 
 
-def run_suite() -> tuple[set[str], str, int]:
+def run_suite(junitxml: str | None = None) -> tuple[set[str], str, int]:
+    command = [sys.executable, "-m", "pytest", "-q", "--tb=no", "-rfE"]
+    if junitxml:
+        command.append(f"--junitxml={junitxml}")
     process = subprocess.run(
-        [sys.executable, "-m", "pytest", "-q", "--tb=no", "-rfE"],
+        command,
         cwd=REPO_ROOT, capture_output=True, text=True,
         env={**__import__("os").environ,
              "PYTHONPATH": f"{REPO_ROOT / 'src'}"},
     )
     output = process.stdout + process.stderr
-    failing = set(re.findall(r"^(?:FAILED|ERROR) (\S+?)(?: - .*)?$",
+    # Test ids may contain spaces (parametrized ids like test_foo[a b]), so
+    # match up to pytest's " - <message>" separator rather than up to the
+    # first whitespace.
+    failing = set(re.findall(r"^(?:FAILED|ERROR) (.+?)(?: - .*)?$",
                              output, flags=re.MULTILINE))
     return failing, output, process.returncode
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--junitxml", default=None, metavar="PATH",
+                        help="also write pytest's junit XML report to PATH "
+                             "(uploaded as a CI artifact on failure)")
+    args = parser.parse_args()
     baseline = load_baseline()
-    failing, output, returncode = run_suite()
+    failing, output, returncode = run_suite(args.junitxml)
     print(output.splitlines()[-1] if output.splitlines() else "(no output)")
 
     # Exit codes other than 0 (all passed) / 1 (some tests failed) mean
@@ -69,20 +83,25 @@ def main() -> int:
 
     regressions = sorted(failing - baseline)
     fixed = sorted(baseline - failing)
+    status = 0
     if fixed:
-        print(f"\n{len(fixed)} baseline failure(s) now pass — prune them "
-              f"from {BASELINE.relative_to(REPO_ROOT)}:")
+        noun = "entry now passes" if len(fixed) == 1 else "entries now pass"
+        print(f"\nSTALE BASELINE: {len(fixed)} baseline {noun} — prune "
+              f"from {BASELINE.relative_to(REPO_ROOT)} in this PR "
+              f"(the baseline only shrinks):")
         for test in fixed:
             print(f"  {test}")
+        status = 1
     if regressions:
         print(f"\nREGRESSION: {len(regressions)} test(s) failing beyond the "
               f"known baseline:")
         for test in regressions:
             print(f"  {test}")
-        return 1
-    print(f"\ngate OK: {len(failing)} failure(s), all in the known baseline "
-          f"({len(baseline)} entries)")
-    return 0
+        status = 1
+    if status == 0:
+        print(f"\ngate OK: {len(failing)} failure(s), all in the known "
+              f"baseline ({len(baseline)} entries)")
+    return status
 
 
 if __name__ == "__main__":

@@ -10,11 +10,11 @@ Three workloads are measured:
   :class:`repro.network.emulator.NetworkEmulator`, i.e. the full
   ``send() -> per-link transit -> deliver`` pipeline that every figure
   reproduction funnels through;
-* **scenario_churn** — a full churn scenario (ring DHT, 10% membership
-  cycling, route-probe workload) executed by the scenario engine across
-  three seeds, so churn-path performance (crash/recover, targeted route
-  invalidation, failure detection) is tracked alongside the kernel and
-  emulator numbers.
+* **scenario_churn** — a full churn scenario (registry-compiled Chord from
+  ``specs/chord.mac``, 10% membership cycling, route-probe workload)
+  executed by the scenario engine across three seeds, so churn-path
+  performance (crash/recover, targeted route invalidation, failure
+  detection) is tracked alongside the kernel and emulator numbers.
 
 A deterministic *fingerprint* workload (fixed seed, fixed traffic schedule)
 is also run; its delivery/latency metrics must be byte-identical across
@@ -29,7 +29,9 @@ Usage::
 Each invocation appends one timestamped entry to ``BENCH_core.json`` (see
 docs/PERFORMANCE.md for the schema).  Pass ``--output -`` to print the entry
 without touching the file, ``--quick`` for a fast smoke run that still
-appends, or ``--smoke`` for the CI form (quick sizes, stdout only).
+appends, ``--smoke`` for the CI form (quick sizes, stdout only), and
+``--check`` to compare kernel events/s and emulator packets/s against the
+last recorded entry and exit non-zero on a >30% regression.
 """
 
 from __future__ import annotations
@@ -52,11 +54,15 @@ from repro.eval.scenario import ChurnModel, ScenarioSpec, WorkloadModel  # noqa:
 from repro.network.emulator import NetworkEmulator  # noqa: E402
 from repro.network.packet import Packet  # noqa: E402
 from repro.network.topology import transit_stub_topology  # noqa: E402
-from repro.protocols.ring import ring_agent  # noqa: E402
+from repro.protocols import chord_agent  # noqa: E402
 from repro.runtime.engine import Simulator  # noqa: E402
 from repro.runtime.failure import FailureDetectorConfig  # noqa: E402
 
 SCHEMA_VERSION = 1
+
+#: --check fails when a measured rate drops more than this below the last
+#: recorded entry (CI smoke boxes are noisy; 30% catches real regressions).
+CHECK_REGRESSION_TOLERANCE = 0.30
 
 #: Defaults, overridable by the ``[repro:bench]`` section of setup.cfg and
 #: then by command-line flags.
@@ -181,6 +187,7 @@ def bench_emulator(num_hosts: int = 600, num_packets: int = 100_000,
     return {
         "hosts": num_hosts,
         "packets": num_packets,
+        "neighbors": neighbors_per_host,
         "seconds": round(seconds, 6),
         "packets_per_sec": round(num_packets / seconds),
         "delivered": delivered,
@@ -196,13 +203,14 @@ def bench_scenario_churn(num_nodes: int = 20, duration: float = 240.0,
 
     One declarative churn scenario (staggered join, 10% of the membership
     fail-stopping and rejoining, random-key route probes) executed across
-    *seeds* by :class:`ScenarioRunner`.  ``seconds``/``events_per_sec`` track
-    performance; the per-seed ``success_ratios`` are pure simulation results
-    and must be byte-stable across refactors, like the core fingerprint.
+    *seeds* by :class:`ScenarioRunner`, on the registry-compiled Chord
+    specification.  ``seconds``/``events_per_sec`` track performance; the
+    per-seed ``success_ratios`` are pure simulation results and must be
+    byte-stable across refactors, like the core fingerprint.
     """
     spec = ScenarioSpec(
-        name="bench-ring-churn",
-        agents=[ring_agent()],
+        name="bench-chord-churn",
+        agents=lambda: [chord_agent()],
         num_nodes=num_nodes,
         duration=duration,
         failure_config=FailureDetectorConfig(failure_timeout=10.0,
@@ -292,6 +300,45 @@ def metrics_fingerprint(seed: int = 7, num_hosts: int = 64,
     }
 
 
+# --------------------------------------------------------------------- check
+def check_against(entry: dict, reference: dict | None, position: int) -> int:
+    """Compare *entry*'s throughput against the *reference* entry.
+
+    Kernel events/s and emulator packets/s may not regress more than
+    ``CHECK_REGRESSION_TOLERANCE`` below the last ``BENCH_core.json`` entry.
+    Returns 0 when within tolerance (or when there is no history to compare
+    against), 1 on regression.
+    """
+    if reference is None:
+        print("\n--check: no recorded BENCH_core.json entry to compare "
+              "against; skipping")
+        return 0
+    checks = (
+        ("kernel events/s", entry["kernel"]["events_per_sec"],
+         reference["kernel"]["events_per_sec"]),
+        ("emulator packets/s", entry["emulator"]["packets_per_sec"],
+         reference["emulator"]["packets_per_sec"]),
+    )
+    floor = 1.0 - CHECK_REGRESSION_TOLERANCE
+    failed = False
+    print(f"\n--check vs entry #{position} "
+          f"({reference.get('label') or 'unlabelled'}, "
+          f"{reference.get('git_rev', '?')}):")
+    for name, measured, recorded in checks:
+        ratio = measured / recorded if recorded else float("inf")
+        verdict = "OK" if ratio >= floor else "REGRESSION"
+        print(f"  {name}: {measured} vs {recorded} recorded "
+              f"({ratio:.2f}x) {verdict}")
+        if ratio < floor:
+            failed = True
+    if failed:
+        print(f"--check FAILED: throughput fell more than "
+              f"{int(CHECK_REGRESSION_TOLERANCE * 100)}% below the last "
+              f"recorded entry")
+        return 1
+    return 0
+
+
 # -------------------------------------------------------------------- output
 def git_rev() -> str:
     try:
@@ -350,6 +397,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="CI smoke pass: --quick sizes, stdout only "
                              "(BENCH_core.json is not touched)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare kernel events/s and emulator packets/s "
+                             "against the last recorded BENCH_core.json entry "
+                             "and exit 1 on a >%d%% regression"
+                             % int(CHECK_REGRESSION_TOLERANCE * 100))
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -362,6 +414,34 @@ def main(argv: list[str] | None = None) -> int:
 
     # Validate the results file before spending ~a minute benchmarking.
     document = load_results(Path(args.output)) if args.output != "-" else None
+
+    reference = None
+    if args.check:
+        history = load_results(REPO_ROOT / config["results_file"]) \
+            if (REPO_ROOT / config["results_file"]).exists() else {"entries": []}
+        reference = history["entries"][-1] if history["entries"] else None
+        if reference is not None:
+            # Rates are only comparable at identical workload shapes, so the
+            # checked benches re-run at the reference entry's dimensions
+            # (cheap: the kernel/emulator benches take ~a second each).
+            # Older entries did not record neighbors; keep the default then.
+            checked_sizes = {
+                "events": reference["kernel"]["events"],
+                "hosts": reference["emulator"]["hosts"],
+                "packets": reference["emulator"]["packets"],
+                "neighbors": reference["emulator"].get("neighbors",
+                                                       args.neighbors),
+            }
+            overridden = {name: (getattr(args, name), size)
+                          for name, size in checked_sizes.items()
+                          if getattr(args, name) != size}
+            if overridden:
+                print("--check: re-running kernel/emulator benches at the "
+                      "reference entry's sizes for a valid comparison:")
+                for name, (given, used) in sorted(overridden.items()):
+                    print(f"  {name}: {given} -> {used}")
+            for name, size in checked_sizes.items():
+                setattr(args, name, size)
 
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -376,6 +456,15 @@ def main(argv: list[str] | None = None) -> int:
     }
 
     print(json.dumps(entry, indent=2))
+    check_status = 0
+    if args.check:
+        check_status = check_against(entry, reference,
+                                     len(history["entries"]))
+        if check_status != 0 and document is not None:
+            # A regressed entry must not become the next run's reference —
+            # recording it would ratchet the floor down 30% at a time.
+            print(f"not appending the regressed entry to {args.output}")
+            document = None
     if document is not None:
         path = Path(args.output)
         previous = document["entries"][0] if document["entries"] else None
@@ -391,7 +480,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"vs entry #1 ({previous['label'] or 'baseline'}): "
                   f"kernel {kernel_speedup:.2f}x, emulator {emulator_speedup:.2f}x, "
                   f"fingerprint {'IDENTICAL' if same else 'CHANGED'}")
-    return 0
+    return check_status
 
 
 if __name__ == "__main__":

@@ -39,8 +39,16 @@ def class_name_for(protocol_name: str) -> str:
     return "".join(part.capitalize() for part in parts if part) + "Agent"
 
 
-def module_name_for(protocol_name: str) -> str:
-    """Synthetic module name under which generated code is registered."""
+def module_name_for(protocol_name: str, base: Optional[str] = None) -> str:
+    """Synthetic module name under which generated code is registered.
+
+    Re-based variants (``base`` given) get their own module name so loading
+    Scribe-over-Chord never clobbers the ``sys.modules`` registration of the
+    bundled Scribe-over-Pastry module (both can pickle/traceback correctly
+    in one process).
+    """
+    if base:
+        return f"repro._generated.{protocol_name}__over_{base}"
     return f"repro._generated.{protocol_name}"
 
 

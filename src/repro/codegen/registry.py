@@ -52,12 +52,18 @@ def compile_source(source: str, module_name: str) -> Type[Agent]:
     return agent_class
 
 
-def compile_spec(spec: ProtocolSpec, *, validate_spec: bool = True) -> Type[Agent]:
-    """Validate, generate, and compile a parsed specification."""
+def compile_spec(spec: ProtocolSpec, *, validate_spec: bool = True,
+                 module_name: Optional[str] = None) -> Type[Agent]:
+    """Validate, generate, and compile a parsed specification.
+
+    ``module_name`` overrides the ``sys.modules`` registration name; the
+    registry uses this to keep re-based variants from clobbering the bundled
+    variant's module entry.
+    """
     if validate_spec:
         validate(spec)
     source = generate_source(spec)
-    return compile_source(source, module_name_for(spec.name))
+    return compile_source(source, module_name or module_name_for(spec.name))
 
 
 def compile_mac(text: str, filename: Optional[str] = None) -> Type[Agent]:
@@ -132,7 +138,11 @@ class ProtocolRegistry:
         spec = self.load_spec(name)
         if base is not None and base != spec.base:
             spec = _respecify_base(spec, base)
-        agent_class = compile_spec(spec, validate_spec=False)
+        # Re-based variants compile under their own module name so they never
+        # poison the unoverridden variant's sys.modules registration (or its
+        # cached class, which keeps pointing at its own module).
+        agent_class = compile_spec(spec, validate_spec=False,
+                                   module_name=module_name_for(name, base))
         if base is not None:
             # Distinguish re-based variants so both can coexist in one process.
             agent_class = type(f"{class_name_for(name)}Over{base.capitalize()}",

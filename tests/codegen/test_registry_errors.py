@@ -1,0 +1,109 @@
+"""Registry error paths and base-override cache hygiene."""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.codegen import ProtocolRegistry, compile_source, get_registry
+from repro.dsl.errors import CodegenError, MacError
+from repro.runtime.agent import Agent
+
+
+# ------------------------------------------------------------ missing specs
+def test_unknown_spec_suggests_close_match():
+    registry = ProtocolRegistry()
+    with pytest.raises(MacError) as excinfo:
+        registry.load_spec("chrod")
+    message = str(excinfo.value)
+    assert "no specification named 'chrod'" in message
+    assert "did you mean" in message
+    assert "chord" in message
+    # The diagnosis also tells the user where specs live and how to add one.
+    assert "available specs" in message
+    assert str(registry.specs_dir) in message
+
+
+def test_unknown_spec_without_close_match_lists_available():
+    registry = ProtocolRegistry()
+    with pytest.raises(MacError) as excinfo:
+        registry.load_spec("zzzzzz")
+    message = str(excinfo.value)
+    assert "did you mean" not in message
+    assert "available specs" in message
+
+
+def test_missing_specs_directory_diagnosed(tmp_path):
+    registry = ProtocolRegistry(specs_dir=tmp_path / "nowhere")
+    with pytest.raises(MacError, match="specs directory does not exist"):
+        registry.load_spec("chord")
+
+
+def test_empty_specs_directory_diagnosed(tmp_path):
+    registry = ProtocolRegistry(specs_dir=tmp_path)
+    with pytest.raises(MacError, match="contains no .mac files"):
+        registry.load_spec("chord")
+
+
+# ----------------------------------------------------------- compile_source
+def test_compile_source_rejects_missing_agent_class():
+    with pytest.raises(CodegenError, match="did not define AGENT_CLASS"):
+        compile_source("x = 1\n", "repro._generated.test_no_agent")
+
+
+def test_compile_source_rejects_non_agent_class():
+    source = "class NotAnAgent:\n    pass\nAGENT_CLASS = NotAnAgent\n"
+    with pytest.raises(CodegenError, match="did not define AGENT_CLASS"):
+        compile_source(source, "repro._generated.test_bad_agent")
+
+
+def test_compile_source_rejects_syntax_errors():
+    with pytest.raises(CodegenError, match="does not compile"):
+        compile_source("def broken(:\n", "repro._generated.test_syntax")
+
+
+# ------------------------------------------------- base-override cache keys
+def test_override_does_not_poison_unoverridden_class_cache():
+    """Loading Scribe-over-Chord must leave plain Scribe untouched."""
+    registry = get_registry()
+    plain_before = registry.load_protocol("scribe")
+    overridden = registry.load_stack("scribe",
+                                     base_overrides={"scribe": "chord"})[-1]
+    plain_after = registry.load_protocol("scribe")
+    assert plain_after is plain_before
+    assert plain_after.BASE_PROTOCOL == "pastry"
+    assert overridden.BASE_PROTOCOL == "chord"
+    assert overridden is not plain_after
+    # The cached spec still declares the bundled base.
+    assert registry.load_spec("scribe").base == "pastry"
+
+
+def test_override_gets_its_own_module_registration():
+    """Regression: the re-based compile must not clobber the bundled
+    variant's sys.modules entry (tracebacks/pickling resolve through it)."""
+    registry = ProtocolRegistry()
+    # Load the overridden variant FIRST, then the plain one, then check both
+    # module registrations still resolve to their own classes.
+    registry.load_protocol("scribe", base="chord")
+    plain = registry.load_protocol("scribe")
+    plain_module = sys.modules["repro._generated.scribe"]
+    assert plain_module.AGENT_CLASS is plain
+    override_module = sys.modules["repro._generated.scribe__over_chord"]
+    assert override_module.AGENT_CLASS.BASE_PROTOCOL == "chord"
+    assert override_module.AGENT_CLASS is not plain
+    # Loading the override again afterwards must not disturb the plain entry.
+    registry2 = ProtocolRegistry()
+    registry2.load_protocol("scribe", base="chord")
+    assert sys.modules["repro._generated.scribe"].AGENT_CLASS is plain
+
+
+def test_override_variants_coexist_and_cache_separately():
+    registry = ProtocolRegistry()
+    over_chord = registry.load_protocol("scribe", base="chord")
+    over_chord_again = registry.load_protocol("scribe", base="chord")
+    plain = registry.load_protocol("scribe")
+    assert over_chord is over_chord_again
+    assert issubclass(over_chord, Agent)
+    assert over_chord.PROTOCOL == plain.PROTOCOL == "scribe"
+    assert over_chord.__name__ == "ScribeAgentOverChord"
