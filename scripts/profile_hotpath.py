@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Profile the protocol-plane hot path so perf PRs start from data.
+
+Runs a short churn scenario (registry-compiled Chord, staggered joins, 10%
+membership cycling, route probes — the same shape as ``bench_scenario_churn``
+in ``scripts/run_benchmarks.py``) under :mod:`cProfile` and prints the top
+functions.  This is the workload whose events/s is tracked in
+``BENCH_core.json``, so whatever dominates here is what the next perf PR
+should attack (see docs/PERFORMANCE.md, "Protocol plane").
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_hotpath.py
+    PYTHONPATH=src python scripts/profile_hotpath.py --nodes 50 --duration 60
+    PYTHONPATH=src python scripts/profile_hotpath.py --sort tottime --top 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.eval.runner import ScenarioRunner  # noqa: E402
+from repro.eval.scenario import ChurnModel, ScenarioSpec, WorkloadModel  # noqa: E402
+from repro.protocols import chord_agent  # noqa: E402
+from repro.runtime.failure import FailureDetectorConfig  # noqa: E402
+
+
+def build_spec(num_nodes: int, duration: float) -> ScenarioSpec:
+    """The churn-bench scenario at profile-friendly sizes."""
+    return ScenarioSpec(
+        name="profile-chord-churn",
+        agents=lambda: [chord_agent()],
+        num_nodes=num_nodes,
+        duration=duration,
+        failure_config=FailureDetectorConfig(failure_timeout=10.0,
+                                             heartbeat_timeout=4.0,
+                                             check_interval=1.0),
+        models=(
+            ChurnModel(join="staggered", join_spacing=0.5, churn_fraction=0.10,
+                       churn_start=duration * 0.25, churn_end=duration * 0.85,
+                       downtime=15.0),
+            WorkloadModel(kind="route", source=-1, start=duration * 0.15,
+                          packets=int(duration // 2), gap=1.5),
+        ),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0],
+                                     allow_abbrev=False)
+    parser.add_argument("--nodes", type=int, default=20,
+                        help="overlay size (default: 20, the bench shape)")
+    parser.add_argument("--duration", type=float, default=120.0,
+                        help="simulated seconds (default: 120)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--top", type=int, default=20,
+                        help="how many functions to print (default: 20)")
+    parser.add_argument("--sort", choices=["cumulative", "tottime", "ncalls"],
+                        default="cumulative",
+                        help="pstats sort order (default: cumulative)")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="also dump raw pstats data to FILE "
+                             "(inspect later with `python -m pstats FILE`)")
+    args = parser.parse_args(argv)
+
+    # Compile the spec before profiling so codegen/import noise does not
+    # drown out the steady-state hot path the benchmarks measure.
+    chord_agent()
+    spec = build_spec(args.nodes, args.duration)
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    summary = ScenarioRunner(spec, seeds=[args.seed]).run()
+    profiler.disable()
+    wall = time.perf_counter() - start
+
+    events = sum(result.metrics["sim.events_processed"]
+                 for result in summary.results)
+    print(f"profiled {args.nodes} nodes x {args.duration:.0f} sim-seconds: "
+          f"{int(events)} events in {wall:.2f}s wall "
+          f"({events / wall:,.0f} events/s under the profiler)\n")
+
+    stats = pstats.Stats(profiler)
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"raw profile written to {args.output}\n")
+    stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

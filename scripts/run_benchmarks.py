@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Run the simulation-core microbenchmarks and record results in BENCH_core.json.
 
-Three workloads are measured:
+Four workloads are measured:
 
 * **kernel** — events/second through :class:`repro.runtime.engine.Simulator`,
   both the handle-returning ``schedule()`` path and (when available) the
@@ -14,7 +14,11 @@ Three workloads are measured:
   ``specs/chord.mac``, 10% membership cycling, route-probe workload)
   executed by the scenario engine across three seeds, so churn-path
   performance (crash/recover, targeted route invalidation, failure
-  detection) is tracked alongside the kernel and emulator numbers.
+  detection) is tracked alongside the kernel and emulator numbers;
+* **scale** — the hundreds-of-nodes experiments: 200 registry-compiled
+  Chord nodes under a route-probe workload and 200 Scribe-over-Pastry
+  nodes multicasting to one group, recording wall-clock, events/s, and
+  per-seed-stable fidelity metrics at ModelNet-like population sizes.
 
 A deterministic *fingerprint* workload (fixed seed, fixed traffic schedule)
 is also run; its delivery/latency metrics must be byte-identical across
@@ -30,8 +34,9 @@ Each invocation appends one timestamped entry to ``BENCH_core.json`` (see
 docs/PERFORMANCE.md for the schema).  Pass ``--output -`` to print the entry
 without touching the file, ``--quick`` for a fast smoke run that still
 appends, ``--smoke`` for the CI form (quick sizes, stdout only), and
-``--check`` to compare kernel events/s and emulator packets/s against the
-last recorded entry and exit non-zero on a >30% regression.
+``--check`` to compare kernel events/s, emulator packets/s, scenario_churn
+events/s, and the scale benches' events/s against the last recorded entry
+and exit non-zero on a >30% regression.
 """
 
 from __future__ import annotations
@@ -73,6 +78,9 @@ BENCH_DEFAULTS = {
     "neighbors_per_host": 8,
     "scenario_nodes": 20,
     "scenario_duration": 240,
+    "scale_nodes": 200,
+    "scale_duration": 180,
+    "scale_scribe_nodes": 200,
     "results_file": "BENCH_core.json",
 }
 
@@ -86,7 +94,8 @@ def load_bench_config() -> dict:
         section = parser["repro:bench"]
         for key in ("kernel_events", "emulator_hosts", "emulator_packets",
                     "neighbors_per_host", "scenario_nodes",
-                    "scenario_duration"):
+                    "scenario_duration", "scale_nodes", "scale_duration",
+                    "scale_scribe_nodes"):
             if key in section:
                 config[key] = section.getint(key)
         if "results_file" in section:
@@ -247,6 +256,108 @@ def bench_scenario_churn(num_nodes: int = 20, duration: float = 240.0,
     }
 
 
+# -------------------------------------------------------------------- scale
+def bench_scale(num_nodes: int = 200, duration: float = 180.0,
+                scribe_nodes: int = 200, seed: int = 1) -> dict:
+    """Registry-compiled protocols at hundreds of nodes (the ROADMAP's scale
+    experiment): wall-clock and events/s, with per-seed-stable fidelity
+    metrics.
+
+    Two workloads:
+
+    * **chord** — *num_nodes* registry-compiled Chord nodes joining under a
+      staggered schedule with a random-key route-probe workload over the last
+      quarter of *duration*.  The recorded ``success_ratio`` documents what
+      the bundled spec actually achieves at this scale (ring convergence is
+      slow at hundreds of nodes — see ROADMAP open items); it must be
+      byte-stable per seed like every other fidelity metric.
+    * **scribe** — *scribe_nodes* Scribe-over-Pastry nodes building one group
+      and multicasting a short burst.  Pastry's announce/gossip full-
+      membership anti-entropy makes this the expensive half (O(members) work
+      per gossip message); its events/s quantifies that known open item.
+    """
+    from repro.eval.experiment import ExperimentConfig, OverlayExperiment
+    from repro.eval.scenario import WorkloadModel
+    from repro.protocols import scribe_stack
+
+    failure_config = FailureDetectorConfig(failure_timeout=10.0,
+                                           heartbeat_timeout=4.0,
+                                           check_interval=1.0)
+
+    # --- Chord route probes at scale -----------------------------------
+    join_spacing = (duration * 0.3) / num_nodes
+    probe_gap = 0.25
+    probes = int(duration * 0.2 / probe_gap)
+    spec = ScenarioSpec(
+        name="bench-scale-chord",
+        agents=lambda: [chord_agent()],
+        num_nodes=num_nodes,
+        duration=duration,
+        failure_config=failure_config,
+        models=(
+            ChurnModel(join="staggered", join_spacing=join_spacing,
+                       churn_fraction=0.0),
+            WorkloadModel(kind="route", source=-1, start=duration * 0.75,
+                          packets=probes, gap=probe_gap),
+        ),
+    )
+    start = time.perf_counter()
+    result = spec.with_seed(seed).run()
+    chord_seconds = time.perf_counter() - start
+    chord_events = result.metrics["sim.events_processed"]
+    chord = {
+        "nodes": num_nodes,
+        "duration": duration,
+        "seed": seed,
+        "seconds": round(chord_seconds, 6),
+        "events_processed": int(chord_events),
+        "events_per_sec": round(chord_events / chord_seconds),
+        "probes": probes,
+        "success_ratio": repr(result.metrics["workload.success_ratio"]),
+    }
+
+    # --- Scribe-over-Pastry multicast at scale -------------------------
+    # Phase lengths scale with the population; the join wave is the
+    # dominant cost (gossip anti-entropy), so it is kept tight.
+    spacing = 0.1 if scribe_nodes >= 150 else 0.05
+    group = 4040
+    packets, gap = 5, 0.5
+    start = time.perf_counter()
+    experiment = OverlayExperiment(scribe_stack(), ExperimentConfig(
+        num_nodes=scribe_nodes, seed=seed,
+        convergence_time=scribe_nodes * spacing + 120.0,
+        failure_config=failure_config))
+    experiment.init_all(staggered=spacing)
+    experiment.run(scribe_nodes * spacing + 10.0)   # join wave + settle
+    source = experiment.nodes[1]
+    source.macedon_create_group(group)
+    experiment.run(5.0)
+    for node in experiment.nodes:
+        if node is not source:
+            node.macedon_join(group)
+    experiment.run(20.0)
+    compiled = experiment.apply_model(
+        WorkloadModel(kind="multicast", source=1, group=group,
+                      packets=packets, gap=gap))
+    experiment.run(packets * gap + 15.0)
+    compiled.restore()
+    metrics = compiled.metrics()
+    scribe_seconds = time.perf_counter() - start
+    scribe_events = experiment.simulator.events_processed
+    scribe = {
+        "nodes": scribe_nodes,
+        "sim_seconds": round(experiment.simulator.now, 6),
+        "seed": seed,
+        "seconds": round(scribe_seconds, 6),
+        "events_processed": int(scribe_events),
+        "events_per_sec": round(scribe_events / scribe_seconds),
+        "packets": packets,
+        "deliveries": int(metrics["deliveries"]),
+        "success_ratio": repr(metrics["success_ratio"]),
+    }
+    return {"chord": chord, "scribe": scribe}
+
+
 # ---------------------------------------------------------------- fingerprint
 def metrics_fingerprint(seed: int = 7, num_hosts: int = 64,
                         num_packets: int = 2_000) -> dict:
@@ -304,26 +415,53 @@ def metrics_fingerprint(seed: int = 7, num_hosts: int = 64,
 def check_against(entry: dict, reference: dict | None, position: int) -> int:
     """Compare *entry*'s throughput against the *reference* entry.
 
-    Kernel events/s and emulator packets/s may not regress more than
-    ``CHECK_REGRESSION_TOLERANCE`` below the last ``BENCH_core.json`` entry.
-    Returns 0 when within tolerance (or when there is no history to compare
-    against), 1 on regression.
+    Kernel events/s, emulator packets/s, scenario_churn events/s, and the
+    scale benches' events/s may not regress more than
+    ``CHECK_REGRESSION_TOLERANCE`` below the last ``BENCH_core.json`` entry
+    (rates the reference does not record are skipped).  Returns 0 when
+    within tolerance (or when there is no history to compare against), 1 on
+    regression.
     """
     if reference is None:
         print("\n--check: no recorded BENCH_core.json entry to compare "
               "against; skipping")
         return 0
-    checks = (
+    checks = [
         ("kernel events/s", entry["kernel"]["events_per_sec"],
          reference["kernel"]["events_per_sec"]),
         ("emulator packets/s", entry["emulator"]["packets_per_sec"],
          reference["emulator"]["packets_per_sec"]),
-    )
+    ]
+    if "scenario_churn" in reference:
+        checks.append(
+            ("scenario_churn events/s",
+             entry["scenario_churn"]["events_per_sec"],
+             reference["scenario_churn"]["events_per_sec"]))
+    skipped = []
+    if "scale" in reference:
+        # Rates are only comparable at identical workload shapes; a smoke
+        # run keeps its small scale budget, so its scale rates are not
+        # gated (the full-size gate runs on full benchmark invocations).
+        for proto, size_keys in (("chord", ("nodes", "duration")),
+                                 ("scribe", ("nodes",))):
+            entry_bench = entry["scale"][proto]
+            reference_bench = reference["scale"][proto]
+            if all(entry_bench[key] == reference_bench[key]
+                   for key in size_keys):
+                checks.append(
+                    (f"scale {proto} events/s",
+                     entry_bench["events_per_sec"],
+                     reference_bench["events_per_sec"]))
+            else:
+                skipped.append(f"scale {proto}")
     floor = 1.0 - CHECK_REGRESSION_TOLERANCE
     failed = False
     print(f"\n--check vs entry #{position} "
           f"({reference.get('label') or 'unlabelled'}, "
           f"{reference.get('git_rev', '?')}):")
+    for name in skipped:
+        print(f"  {name}: run at different sizes than the reference "
+              f"(smoke budget); rate not compared")
     for name, measured, recorded in checks:
         ratio = measured / recorded if recorded else float("inf")
         verdict = "OK" if ratio >= floor else "REGRESSION"
@@ -392,13 +530,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scenario-duration", type=float,
                         default=config["scenario_duration"],
                         help="simulated seconds of the churn scenario bench")
+    parser.add_argument("--scale-nodes", type=int,
+                        default=config["scale_nodes"],
+                        help="Chord overlay size of the scale bench")
+    parser.add_argument("--scale-duration", type=float,
+                        default=config["scale_duration"],
+                        help="simulated seconds of the Chord scale bench")
+    parser.add_argument("--scale-scribe-nodes", type=int,
+                        default=config["scale_scribe_nodes"],
+                        help="Scribe-over-Pastry overlay size of the scale bench")
     parser.add_argument("--quick", action="store_true",
                         help="small sizes for a smoke run")
     parser.add_argument("--smoke", action="store_true",
                         help="CI smoke pass: --quick sizes, stdout only "
                              "(BENCH_core.json is not touched)")
     parser.add_argument("--check", action="store_true",
-                        help="compare kernel events/s and emulator packets/s "
+                        help="compare kernel events/s, emulator packets/s, "
+                             "scenario_churn events/s, and scale events/s "
                              "against the last recorded BENCH_core.json entry "
                              "and exit 1 on a >%d%% regression"
                              % int(CHECK_REGRESSION_TOLERANCE * 100))
@@ -411,6 +559,12 @@ def main(argv: list[str] | None = None) -> int:
         args.events, args.hosts, args.packets = 20_000, 100, 3_000
         args.scenario_nodes = 10
         args.scenario_duration = 120.0
+        # Scale smoke: still 200 Chord nodes (the point is exercising the
+        # hundreds-of-nodes path on every PR) but a small event budget, and
+        # a halved Scribe population to cap the gossip-heavy wall-clock.
+        args.scale_nodes = 200
+        args.scale_duration = 30.0
+        args.scale_scribe_nodes = 100
 
     # Validate the results file before spending ~a minute benchmarking.
     document = load_results(Path(args.output)) if args.output != "-" else None
@@ -423,8 +577,9 @@ def main(argv: list[str] | None = None) -> int:
         if reference is not None:
             # Rates are only comparable at identical workload shapes, so the
             # checked benches re-run at the reference entry's dimensions
-            # (cheap: the kernel/emulator benches take ~a second each).
-            # Older entries did not record neighbors; keep the default then.
+            # (kernel/emulator are ~a second each; the scenario and scale
+            # benches dominate but stay within a CI-friendly minute).
+            # Older entries did not record every size; keep defaults then.
             checked_sizes = {
                 "events": reference["kernel"]["events"],
                 "hosts": reference["emulator"]["hosts"],
@@ -432,6 +587,21 @@ def main(argv: list[str] | None = None) -> int:
                 "neighbors": reference["emulator"].get("neighbors",
                                                        args.neighbors),
             }
+            if "scenario_churn" in reference:
+                checked_sizes["scenario_nodes"] = \
+                    reference["scenario_churn"]["nodes"]
+                checked_sizes["scenario_duration"] = \
+                    reference["scenario_churn"]["duration"]
+            # The scale benches are only re-run at reference sizes on full
+            # invocations: a smoke run keeps its small scale budget (the CI
+            # job's wall-clock cap) and check_against skips their rate
+            # comparison instead.
+            if "scale" in reference and not args.smoke:
+                checked_sizes["scale_nodes"] = reference["scale"]["chord"]["nodes"]
+                checked_sizes["scale_duration"] = \
+                    reference["scale"]["chord"]["duration"]
+                checked_sizes["scale_scribe_nodes"] = \
+                    reference["scale"]["scribe"]["nodes"]
             overridden = {name: (getattr(args, name), size)
                           for name, size in checked_sizes.items()
                           if getattr(args, name) != size}
@@ -452,6 +622,8 @@ def main(argv: list[str] | None = None) -> int:
         "emulator": bench_emulator(args.hosts, args.packets, args.neighbors),
         "scenario_churn": bench_scenario_churn(args.scenario_nodes,
                                                args.scenario_duration),
+        "scale": bench_scale(args.scale_nodes, args.scale_duration,
+                             args.scale_scribe_nodes),
         "fingerprint": metrics_fingerprint(),
     }
 

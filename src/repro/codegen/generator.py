@@ -217,6 +217,7 @@ class CodeGenerator:
         lines.append(self._messages_attr())
         lines.append(self._state_vars_attr())
         lines.append(self._transitions_attr())
+        lines.append(self._transition_index_attr())
         lines.append("    KEY_SPACE = KeySpace()")
         lines.append("")
         return "\n".join(lines)
@@ -297,6 +298,26 @@ class CodeGenerator:
                 f"method={method!r}, locking={transition.locking!r}),"
             )
         return "    TRANSITIONS = (\n" + "\n".join(entries) + "\n    )"
+
+    def _transition_index_attr(self) -> str:
+        """Emit the dispatch table: (kind, event name) -> transition positions.
+
+        The runtime binds each position's method once per agent instance and
+        dispatches deliveries/timer fires/API calls with a single dict lookup
+        instead of a per-event ``getattr``/string scan over every transition
+        (see ``Agent._compile_transitions``).  Buckets keep declaration order,
+        so state-expression tie-breaking is unchanged.
+        """
+        if not self.spec.transitions:
+            return "    TRANSITION_INDEX = {}"
+        index: dict[tuple[str, str], list[int]] = {}
+        for position, transition in enumerate(self.spec.transitions):
+            index.setdefault((transition.kind, transition.name), []).append(position)
+        entries = [
+            f"        ({kind!r}, {name!r}): {tuple(positions)!r},"
+            for (kind, name), positions in index.items()
+        ]
+        return "    TRANSITION_INDEX = {\n" + "\n".join(entries) + "\n    }"
 
     def _routines(self) -> str:
         if not self.spec.routines:

@@ -102,32 +102,50 @@ class TransitionContext:
     The code generator rewrites context names appearing in transition bodies
     (``source``, ``msg``, ``dest_key``, ``payload`` …) into attribute accesses
     on this object.
+
+    One context is built per dispatched event, so it is a ``__slots__`` class
+    with an explicit constructor — the attribute set is closed (it mirrors
+    :data:`repro.codegen.primitives.CONTEXT_NAMES` plus ``api``).
     """
 
-    def __init__(self, **kwargs: Any) -> None:
-        self.api: Optional[str] = None
-        self.source: Optional[int] = None
-        self.source_key: Optional[int] = None
-        self.msg: Optional[Message] = None
-        self.dest: Optional[int] = None
-        self.dest_key: Optional[int] = None
-        self.group: Optional[int] = None
-        self.payload: Any = None
-        self.payload_size: int = 0
-        self.priority: int = -1
-        self.bootstrap: Optional[int] = None
-        self.next_hop: Optional[int] = None
-        self.next_hop_key: Optional[int] = None
-        self.quash: bool = False
-        self.error_addr: Optional[int] = None
-        self.neighbors: Optional[list[int]] = None
-        self.nbr_type: Optional[int] = None
-        self.op: Optional[Any] = None
-        self.arg: Any = None
-        self.timer_name: Optional[str] = None
-        self.result: Any = None
-        for key, value in kwargs.items():
-            setattr(self, key, value)
+    __slots__ = ("api", "source", "source_key", "msg", "dest", "dest_key",
+                 "group", "payload", "payload_size", "priority", "bootstrap",
+                 "next_hop", "next_hop_key", "quash", "error_addr",
+                 "neighbors", "nbr_type", "op", "arg", "timer_name", "result")
+
+    def __init__(self, api: Optional[str] = None, source: Optional[int] = None,
+                 source_key: Optional[int] = None, msg: Optional[Message] = None,
+                 dest: Optional[int] = None, dest_key: Optional[int] = None,
+                 group: Optional[int] = None, payload: Any = None,
+                 payload_size: int = 0, priority: int = -1,
+                 bootstrap: Optional[int] = None, next_hop: Optional[int] = None,
+                 next_hop_key: Optional[int] = None, quash: bool = False,
+                 error_addr: Optional[int] = None,
+                 neighbors: Optional[list[int]] = None,
+                 nbr_type: Optional[int] = None, op: Optional[Any] = None,
+                 arg: Any = None, timer_name: Optional[str] = None,
+                 result: Any = None) -> None:
+        self.api = api
+        self.source = source
+        self.source_key = source_key
+        self.msg = msg
+        self.dest = dest
+        self.dest_key = dest_key
+        self.group = group
+        self.payload = payload
+        self.payload_size = payload_size
+        self.priority = priority
+        self.bootstrap = bootstrap
+        self.next_hop = next_hop
+        self.next_hop_key = next_hop_key
+        self.quash = quash
+        self.error_addr = error_addr
+        self.neighbors = neighbors
+        self.nbr_type = nbr_type
+        self.op = op
+        self.arg = arg
+        self.timer_name = timer_name
+        self.result = result
 
     def field(self, name: str) -> Any:
         """The paper's ``field()`` accessor on the triggering message."""
@@ -153,10 +171,14 @@ class Agent:
     STATE_VARS: tuple[StateVarSpec, ...] = ()
     TRANSITIONS: tuple[TransitionSpec, ...] = ()
     KEY_SPACE: KeySpace = KeySpace()
+    #: Shadowed by an instance attribute at the end of __init__; the class
+    #: default keeps __setattr__'s guard check a plain attribute read (no
+    #: getattr-with-default) during construction.
+    _constructed: bool = False
 
     def __init__(self, node: "MacedonNode") -> None:  # noqa: F821 (forward ref)
-        # Bypass the state-variable write guard during construction.
-        object.__setattr__(self, "_constructed", False)
+        # The class-level _constructed=False default bypasses the
+        # state-variable write guard during construction.
         self.node = node
         self.simulator = node.simulator
         self.my_addr: int = node.address
@@ -174,8 +196,22 @@ class Agent:
         self._state_var_names: set[str] = set()
         self._fail_detect_sets: list[NeighborSet] = []
         self._compiled_transitions: list[tuple[TransitionSpec, StateExpr]] = []
+        #: (kind, name) -> [(spec, compiled state expr, bound method), ...]
+        #: in declaration order — the dispatch table the hot path consults
+        #: instead of scanning every transition with string compares.
+        self._transition_table: dict[tuple[str, str],
+                                     list[tuple[TransitionSpec, StateExpr,
+                                                Callable[..., Any]]]] = {}
         self._group_members: dict[int, set[int]] = {}
         self.initialized = False
+        #: Trace gates, precomputed so hot paths skip the tracer call (and
+        #: its argument formatting) entirely when the record would be
+        #: filtered anyway.  The thresholds mirror
+        #: :attr:`repro.runtime.tracing.Tracer.CATEGORY_LEVELS`.
+        self._trace_med = self.TRACE >= TraceLevel.MED
+        self._trace_high = self.TRACE >= TraceLevel.HIGH
+        self._transport_names: tuple[str, ...] = tuple(
+            name for _, name in self.TRANSPORT_DECLS)
 
         for name, value in self.CONSTANTS.items():
             setattr(self, name, value)
@@ -217,17 +253,30 @@ class Agent:
                 self._state_var_names.add(spec.name)
 
     def _compile_transitions(self) -> None:
+        table = self._transition_table
         for spec in self.TRANSITIONS:
             expr = parse_state_expr(spec.state_expr, self.STATES)
-            if not hasattr(self, spec.method):
+            method = getattr(self, spec.method, None)
+            if method is None:
                 raise AgentError(
                     f"{self.PROTOCOL}: transition references missing method {spec.method!r}"
                 )
             self._compiled_transitions.append((spec, expr))
+            # Bind the method once here; within one (kind, name) bucket the
+            # declaration order is preserved, so the table dispatches exactly
+            # the transition the old linear scan would have found.
+            table.setdefault((spec.kind, spec.name), []).append(
+                (spec, expr, method))
+        index = getattr(type(self), "TRANSITION_INDEX", None)
+        if index is not None and len(index) != len(table):
+            raise AgentError(
+                f"{self.PROTOCOL}: generated TRANSITION_INDEX disagrees with "
+                f"TRANSITIONS (stale generated module?)"
+            )
 
     # ----------------------------------------------------- write-lock guarding
     def __setattr__(self, name: str, value: Any) -> None:
-        if getattr(self, "_constructed", False) and name in self._state_var_names:
+        if self._constructed and name in self._state_var_names:
             self.lock.assert_writable(f"assignment to state variable {name!r}")
         object.__setattr__(self, name, value)
 
@@ -303,15 +352,23 @@ class Agent:
         return self._dispatch(direction, message.name, ctx)
 
     def _dispatch(self, kind: str, name: str, ctx: TransitionContext) -> bool:
-        """Find and execute the transition for (kind, name, current state)."""
-        for spec, expr in self._compiled_transitions:
-            if spec.kind != kind or spec.name != name:
+        """Find and execute the transition for (kind, name, current state).
+
+        One dict lookup into the dispatch table built at construction, then a
+        state-expression check over the (almost always singleton) bucket —
+        no per-delivery ``getattr`` and no string matching over the whole
+        transition list.
+        """
+        candidates = self._transition_table.get((kind, name))
+        if not candidates:
+            return False
+        state = self._state
+        for spec, expr, method in candidates:
+            if not expr.matches(state):
                 continue
-            if not expr.matches(self._state):
-                continue
-            self.trace("transition", f"{kind}:{name}", state=self._state,
-                       locking=spec.locking)
-            method = getattr(self, spec.method)
+            if self._trace_med:   # "transition" records at TraceLevel.MED
+                self.trace("transition", f"{kind}:{name}", state=state,
+                           locking=spec.locking)
             with self.lock.acquire(spec.locking):
                 method(ctx)
             return True
@@ -341,13 +398,15 @@ class Agent:
         if key is None and self.ADDRESSING == "hash":
             key = self.key_space.hash(address)
         entry = neighbor_set.add(address, key=key, **fields)
-        self.trace("neighbor", f"add {address} to {neighbor_set.name}")
+        if self._trace_high:   # "neighbor" records at TraceLevel.HIGH
+            self.trace("neighbor", f"add {address} to {neighbor_set.name}")
         return entry
 
     def neighbor_remove(self, neighbor_set: NeighborSet, address: int):
         self.lock.assert_writable("neighbor_remove")
         entry = neighbor_set.remove(address)
-        self.trace("neighbor", f"remove {address} from {neighbor_set.name}")
+        if self._trace_high:
+            self.trace("neighbor", f"remove {address} from {neighbor_set.name}")
         return entry
 
     def neighbor_clear(self, neighbor_set: NeighborSet) -> None:
@@ -385,17 +444,20 @@ class Agent:
     def timer_sched(self, timer, delay: Optional[float] = None) -> None:
         timer = self._resolve_timer(timer)
         timer.schedule(delay)
-        self.trace("timer", f"sched {timer.name}")
+        if self._trace_high:   # "timer" records at TraceLevel.HIGH
+            self.trace("timer", f"sched {timer.name}")
 
     def timer_resched(self, timer, delay: Optional[float] = None) -> None:
         timer = self._resolve_timer(timer)
         timer.reschedule(delay)
-        self.trace("timer", f"resched {timer.name}")
+        if self._trace_high:
+            self.trace("timer", f"resched {timer.name}")
 
     def timer_cancel(self, timer) -> None:
         timer = self._resolve_timer(timer)
         timer.cancel()
-        self.trace("timer", f"cancel {timer.name}")
+        if self._trace_high:
+            self.trace("timer", f"cancel {timer.name}")
 
     def _resolve_timer(self, timer):
         if isinstance(timer, str):
@@ -413,19 +475,20 @@ class Agent:
         :meth:`routeip_msg` instead.
         """
         message_type = self._catalog.get(name)
+        dest = int(dest)
         message = Message(type=message_type, fields=fields, payload=payload,
                           payload_size=payload_size, priority=priority,
-                          dest=int(dest), protocol=self.PROTOCOL)
-        message.source = self.my_addr
+                          source=self.my_addr, dest=dest, protocol=self.PROTOCOL)
         transport_name = self._select_transport(message_type, priority)
         payload_tag = tag
         if payload_tag is None and payload is not None:
             payload_tag = getattr(payload, "tag", None)
-        self.trace("message_send", name, dest=int(dest), size=message.size)
-        self.node.send_wire_message(transport_name, int(dest), message, payload_tag)
+        if self._trace_med:   # "message_send" records at TraceLevel.MED
+            self.trace("message_send", name, dest=dest, size=message.size)
+        self.node.send_wire_message(transport_name, dest, message, payload_tag)
 
     def _select_transport(self, message_type: MessageType, priority: int) -> str:
-        declared = [name for _, name in self.TRANSPORT_DECLS]
+        declared = self._transport_names
         if priority is not None and priority >= 0 and declared:
             return declared[min(priority, len(declared) - 1)]
         if message_type.transport:
@@ -620,7 +683,8 @@ class Agent:
                                 self.PROTOCOL, category, detail, **data)
 
     def debug(self, detail: str, **data: Any) -> None:
-        self.trace("debug", detail, **data)
+        if self._trace_high:   # "debug" records at TraceLevel.HIGH
+            self.trace("debug", detail, **data)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.PROTOCOL} @{self.my_addr} state={self._state}>"

@@ -21,7 +21,6 @@ must preserve (deterministic (time, seq) ordering above all).
 
 from __future__ import annotations
 
-import itertools
 import random
 from heapq import heappop, heappush
 from typing import Any, Callable, Iterable, Optional, Union
@@ -117,7 +116,10 @@ class Simulator:
     def __init__(self, seed: int = 0) -> None:
         self._now: float = 0.0
         self._queue: list[tuple[float, int, _Event]] = []
-        self._seq = itertools.count()
+        #: Insertion counter giving the deterministic FIFO tie-break for
+        #: same-time events; a plain int incremented inline (cheaper than an
+        #: itertools.count next() per schedule on the hot paths).
+        self._seq = 0
         self._running = False
         self._stopped = False
         #: Number of PENDING (scheduled, not yet fired or cancelled) events.
@@ -167,7 +169,9 @@ class Simulator:
         time = self._now + delay
         event = _Event(time, callback, args, kwargs or None, label)
         self._live += 1
-        heappush(self._queue, (time, next(self._seq), event))
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (time, seq, event))
         return EventHandle(event, self)
 
     def schedule_fast(self, delay: float, callback: Callable[..., Any],
@@ -184,8 +188,50 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule event {delay} s in the past")
         self._live += 1
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._queue, (self._now + delay, seq, callback, args))
+
+    def schedule_gen(self, delay: float, callback: Callable[[], Any],
+                     cell: list) -> None:
+        """Generation-cancellable fire-and-forget scheduling.
+
+        The cancellation-capable sibling of :meth:`schedule_fast`, built for
+        timers that re-arm constantly (protocol timers, retransmission
+        timeouts): it allocates no ``_Event`` and no :class:`EventHandle` per
+        (re)schedule.  *cell* is a one-element list owned by the caller whose
+        single int is the timer's current *generation*; the heap entry is a
+        flat ``(time, seq, callback, cell, cell[0])`` 5-tuple capturing the
+        generation at schedule time.  Cancelling (:meth:`cancel_gen`) bumps
+        the generation, and a popped entry whose captured token no longer
+        matches ``cell[0]`` is discarded exactly like a cancelled
+        :class:`EventHandle` event: not dispatched, not counted towards
+        ``events_processed``, and it does not advance the clock.
+
+        Ordering is the shared deterministic ``(time, seq)`` order — ``seq``
+        is unique across all three entry widths, so comparison never reaches
+        the payload.  The caller is responsible for the one-pending-entry
+        invariant: at most one live entry per cell, tracked by an "armed"
+        flag (see :class:`repro.runtime.timers.ProtocolTimer`).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event {delay} s in the past")
+        self._live += 1
+        seq = self._seq
+        self._seq = seq + 1
         heappush(self._queue,
-                 (self._now + delay, next(self._seq), callback, args))
+                 (self._now + delay, seq, callback, cell, cell[0]))
+
+    def cancel_gen(self, cell: list) -> None:
+        """Cancel the single pending :meth:`schedule_gen` entry tied to *cell*.
+
+        Bumps the generation so the stale heap entry is discarded when it
+        surfaces.  Must be called exactly once per pending entry (the caller
+        tracks an "armed" flag): calling it with no entry pending would
+        corrupt the O(1) live-event counter.
+        """
+        cell[0] += 1
+        self._live -= 1
 
     def schedule_at(
         self,
@@ -233,6 +279,7 @@ class Simulator:
         self._stopped = False
         processed = 0
         queue = self._queue
+        pop = heappop   # local alias: one global lookup saved per event
         time_limit = float("inf") if until is None else until
         event_limit = float("inf") if max_events is None else max_events
         try:
@@ -241,8 +288,9 @@ class Simulator:
                 time = entry[0]
                 if time > time_limit:
                     break
-                heappop(queue)
-                if len(entry) == 4:
+                pop(queue)
+                width = len(entry)
+                if width == 4:
                     # Fire-and-forget entry from schedule_fast: uncancellable,
                     # dispatch straight from the tuple.
                     if time < self._now:
@@ -250,6 +298,16 @@ class Simulator:
                     self._live -= 1
                     self._now = time
                     entry[2](*entry[3])
+                elif width == 5:
+                    # Generation-cancellable entry from schedule_gen: a stale
+                    # token means cancel_gen ran (counter already adjusted).
+                    if entry[4] != entry[3][0]:
+                        continue
+                    if time < self._now:
+                        raise SimulationError("event queue produced an event in the past")
+                    self._live -= 1
+                    self._now = time
+                    entry[2]()
                 else:
                     event = entry[2]
                     if event.state:  # cancelled; counter already decremented
@@ -289,8 +347,12 @@ class Simulator:
         """
         labels = []
         for entry in self._queue:
-            if len(entry) == 4:
+            width = len(entry)
+            if width == 4:
                 labels.append("")
+            elif width == 5:
+                if entry[4] == entry[3][0]:  # live (not generation-cancelled)
+                    labels.append("")
             elif entry[2].state == _PENDING:
                 labels.append(_resolve_label(entry[2].label))
         return labels

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Union
 
 #: Default width of the hash address space, matching the paper's MACEDON Chord.
@@ -31,8 +32,11 @@ def hash_bytes(data: bytes, bits: int = DEFAULT_KEY_BITS) -> int:
     return value >> (160 - bits)
 
 
-def hash_key(value: Union[str, int, bytes], bits: int = DEFAULT_KEY_BITS) -> int:
-    """Hash an arbitrary identifier (name, IP integer, bytes) into the key space."""
+@lru_cache(maxsize=65536)
+def _hash_key_cached(cls: type, value: Union[str, int, bytes], bits: int) -> int:
+    # ``cls`` is only a cache discriminator: equal-comparing values of
+    # different types (2 vs 2.0 vs "2") hash to different byte forms below,
+    # so they must not share a cache slot keyed on equality alone.
     if isinstance(value, bytes):
         data = value
     elif isinstance(value, int):
@@ -40,6 +44,22 @@ def hash_key(value: Union[str, int, bytes], bits: int = DEFAULT_KEY_BITS) -> int
     else:
         data = str(value).encode("utf-8")
     return hash_bytes(data, bits)
+
+
+def hash_key(value: Union[str, int, bytes], bits: int = DEFAULT_KEY_BITS) -> int:
+    """Hash an arbitrary identifier (name, IP integer, bytes) into the key space.
+
+    A pure function of ``(type, value, bits)``, so the result is memoised:
+    overlay protocols hash the same node addresses over and over on every
+    maintenance beat, which made SHA-1 a measurable slice of the
+    protocol-plane profile.  The cache is bounded (LRU) so pathological
+    workloads cannot grow it without limit; unhashable identifiers fall back
+    to the direct computation on their string form.
+    """
+    try:
+        return _hash_key_cached(value.__class__, value, bits)
+    except TypeError:
+        return hash_bytes(str(value).encode("utf-8"), bits)
 
 
 def key_space_size(bits: int = DEFAULT_KEY_BITS) -> int:
@@ -55,7 +75,7 @@ def in_interval(value: int, start: int, end: int, bits: int = DEFAULT_KEY_BITS,
     shared by the MACEDON Chord spec and the lsd baseline so both agree on
     correctness.
     """
-    size = key_space_size(bits)
+    size = 1 << bits
     value %= size
     start %= size
     end %= size
@@ -76,8 +96,7 @@ def in_interval(value: int, start: int, end: int, bits: int = DEFAULT_KEY_BITS,
 
 def ring_distance(a: int, b: int, bits: int = DEFAULT_KEY_BITS) -> int:
     """Clockwise distance from *a* to *b* on the ring."""
-    size = key_space_size(bits)
-    return (b - a) % size
+    return (b - a) % (1 << bits)
 
 
 def key_digits(key: int, base_bits: int, digits: int) -> list[int]:
@@ -118,10 +137,12 @@ class KeySpace:
             raise ValueError(
                 f"key width {self.bits} is not a multiple of digit width {self.digit_bits}"
             )
+        # Frozen dataclass: cache the (hot) derived size via object.__setattr__.
+        object.__setattr__(self, "_size", 1 << self.bits)
 
     @property
     def size(self) -> int:
-        return key_space_size(self.bits)
+        return self._size
 
     @property
     def num_digits(self) -> int:
@@ -132,16 +153,32 @@ class KeySpace:
         return 1 << self.digit_bits
 
     def hash(self, value: Union[str, int, bytes]) -> int:
-        return hash_key(value, self.bits)
+        try:
+            return _hash_key_cached(value.__class__, value, self.bits)
+        except TypeError:  # unhashable identifier: direct computation
+            return hash_bytes(str(value).encode("utf-8"), self.bits)
 
     def distance(self, a: int, b: int) -> int:
-        return ring_distance(a, b, self.bits)
+        return (b - a) % self._size
 
     def between(self, value: int, start: int, end: int, *,
                 inclusive_start: bool = False, inclusive_end: bool = False) -> bool:
-        return in_interval(value, start, end, self.bits,
-                           inclusive_start=inclusive_start,
-                           inclusive_end=inclusive_end)
+        # Inlined in_interval() over the cached size: this predicate runs on
+        # every routing decision of every DHT hop.  Keep the logic in exact
+        # lockstep with in_interval() above.
+        size = self._size
+        value %= size
+        start %= size
+        end %= size
+        if start == end:
+            if inclusive_start or inclusive_end:
+                return True
+            return value != start
+        after_start = value > start or (inclusive_start and value == start)
+        before_end = value < end or (inclusive_end and value == end)
+        if start < end:
+            return after_start and before_end
+        return after_start or before_end
 
     def digits(self, key: int) -> list[int]:
         return key_digits(key, self.digit_bits, self.num_digits)

@@ -22,9 +22,8 @@ is the *classification*:
 
 from __future__ import annotations
 
-import contextlib
-from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 
 class LockingViolation(RuntimeError):
@@ -69,6 +68,13 @@ class InstanceLock:
         self.strict = strict
         self.stats = LockStats()
         self._mode_stack: list[str] = []
+        # One reusable scope per mode: every transition dispatch enters a
+        # lock scope, so the @contextmanager generator machinery (one
+        # generator + helper object per acquisition) was measurable
+        # protocol-plane overhead.  The scopes are stateless — all state
+        # lives in the mode stack — so nesting reuses them safely.
+        self._read_scope = _LockScope(self, "read")
+        self._write_scope = _LockScope(self, "write")
 
     @property
     def current_mode(self) -> Optional[str]:
@@ -79,26 +85,17 @@ class InstanceLock:
     def held(self) -> bool:
         return bool(self._mode_stack)
 
-    @contextlib.contextmanager
-    def acquire(self, mode: str) -> Iterator[None]:
-        """Hold the lock in *mode* ("read" or "write") for the duration."""
-        if mode not in ("read", "write"):
-            raise ValueError(f"unknown lock mode {mode!r}")
-        if self._mode_stack:
-            self.stats.nested_acquisitions += 1
+    def acquire(self, mode: str) -> "_LockScope":
+        """Context manager holding the lock in *mode* ("read" or "write")."""
+        if mode == "write":
+            return self._write_scope
         if mode == "read":
-            self.stats.read_acquisitions += 1
-        else:
-            self.stats.write_acquisitions += 1
-        self._mode_stack.append(mode)
-        try:
-            yield
-        finally:
-            self._mode_stack.pop()
+            return self._read_scope
+        raise ValueError(f"unknown lock mode {mode!r}")
 
     def assert_writable(self, what: str) -> None:
         """Called by write primitives; enforces the declared transition class."""
-        mode = self.current_mode
+        mode = self._mode_stack[-1] if self._mode_stack else None
         if mode == "read":
             self.stats.violations += 1
             if self.strict:
@@ -107,10 +104,40 @@ class InstanceLock:
                 )
 
     # Explicit primitives the paper exposes for intra-transition locking.
-    def lock_write(self) -> contextlib.AbstractContextManager:
+    def lock_write(self) -> "_LockScope":
         """The paper's ``Lock_Write()`` — explicit write lock inside a transition."""
-        return self.acquire("write")
+        return self._write_scope
 
-    def lock_read(self) -> contextlib.AbstractContextManager:
+    def lock_read(self) -> "_LockScope":
         """The paper's ``Lock_Read()``."""
-        return self.acquire("read")
+        return self._read_scope
+
+
+class _LockScope:
+    """Reusable ``with``-scope for one lock mode.
+
+    Stateless between entries (the mode stack carries all state), so a single
+    instance per (lock, mode) pair serves arbitrarily nested acquisitions.
+    """
+
+    __slots__ = ("_lock", "_mode")
+
+    def __init__(self, lock: InstanceLock, mode: str) -> None:
+        self._lock = lock
+        self._mode = mode
+
+    def __enter__(self) -> None:
+        lock = self._lock
+        stats = lock.stats
+        stack = lock._mode_stack
+        if stack:
+            stats.nested_acquisitions += 1
+        if self._mode == "read":
+            stats.read_acquisitions += 1
+        else:
+            stats.write_acquisitions += 1
+        stack.append(self._mode)
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self._lock._mode_stack.pop()
+        return False

@@ -13,13 +13,24 @@ fields.  Field types drive the on-the-wire size model so the emulator charges
 realistic bytes for control traffic, and the generated code accesses fields
 either as attributes (``msg.response``) or through the paper's ``field()``
 primitive.
+
+Message construction is protocol-plane hot-path work — one instance per send
+on every node — so the classes here are compiled once per type and slotted:
+
+* :class:`MessageType` resolves its size model at spec-compile time: the
+  fixed wire size (header + every scalar field) is precomputed, and only
+  list/string fields — the ones whose size depends on the value — are
+  visited per send.  Unknown field types are rejected *here*, when the spec
+  compiles, not silently defaulted at send time.
+* :class:`Message` is a ``__slots__`` envelope with a lazy ``msg_id`` (the
+  process-wide counter is only consumed if somebody reads it) and a size
+  memoised on first read.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional
+from typing import Any, Iterator, Mapping, Optional
 
 #: Serialized size, in bytes, of each supported field type.
 FIELD_TYPE_SIZES: dict[str, int] = {
@@ -39,20 +50,28 @@ MESSAGE_HEADER_BYTES = 16
 
 
 class MessageError(ValueError):
-    """Raised for unknown message types or malformed field access."""
+    """Raised for unknown message types, field types, or malformed access."""
 
 
-@dataclass(frozen=True)
 class FieldSpec:
     """One declared field of a message type."""
 
-    name: str
-    type_name: str
-    #: For list-typed fields ("neighbor list", "int list"), the element type.
-    is_list: bool = False
+    __slots__ = ("name", "type_name", "is_list")
+
+    def __init__(self, name: str, type_name: str, is_list: bool = False) -> None:
+        self.name = name
+        self.type_name = type_name
+        #: For list-typed fields ("neighbor list", "int list"), the element type.
+        self.is_list = is_list
 
     def size_of(self, value: Any) -> int:
-        base = FIELD_TYPE_SIZES.get(self.type_name, 8)
+        try:
+            base = FIELD_TYPE_SIZES[self.type_name]
+        except KeyError:
+            raise MessageError(
+                f"field {self.name!r} has unknown type {self.type_name!r} "
+                f"(known: {sorted(FIELD_TYPE_SIZES)})"
+            ) from None
         if self.is_list:
             try:
                 length = len(value)
@@ -63,38 +82,85 @@ class FieldSpec:
             return max(1, len(value.encode("utf-8")))
         return base
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        suffix = " list" if self.is_list else ""
+        return f"FieldSpec({self.name!r}, {self.type_name!r}{suffix})"
 
-@dataclass(frozen=True)
+
 class MessageType:
-    """A declared message type: name, fields, and default transport binding."""
+    """A declared message type: name, fields, and default transport binding.
 
-    name: str
-    fields: tuple[FieldSpec, ...] = ()
-    transport: Optional[str] = None
+    The wire-size model is compiled once, at construction: scalar fields sum
+    into :attr:`fixed_size` and only value-dependent fields (lists, strings)
+    remain in the per-send loop.  A field with a type the size model does not
+    know is a specification bug and raises :class:`MessageError` here — at
+    spec-compile time — rather than silently charging a default at send time.
+    """
+
+    __slots__ = ("name", "fields", "transport", "fixed_size",
+                 "_var_specs", "_names")
+
+    def __init__(self, name: str, fields: tuple = (),
+                 transport: Optional[str] = None) -> None:
+        self.name = name
+        self.fields: tuple[FieldSpec, ...] = tuple(fields)
+        self.transport = transport
+        fixed = MESSAGE_HEADER_BYTES
+        var_specs = []
+        for spec in self.fields:
+            base = FIELD_TYPE_SIZES.get(spec.type_name)
+            if base is None:
+                raise MessageError(
+                    f"message {name!r} field {spec.name!r} has unknown type "
+                    f"{spec.type_name!r} (known: {sorted(FIELD_TYPE_SIZES)})"
+                )
+            if spec.is_list or spec.type_name == "string":
+                var_specs.append((spec.name, spec.is_list, base))
+            else:
+                fixed += base
+        #: Wire size shared by every instance: header plus all scalar fields.
+        self.fixed_size = fixed
+        self._var_specs = tuple(var_specs)
+        self._names = frozenset(spec.name for spec in self.fields)
 
     def field_names(self) -> list[str]:
         return [spec.name for spec in self.fields]
 
     def validate_fields(self, values: Mapping[str, Any]) -> None:
-        declared = set(self.field_names())
-        unknown = set(values) - declared
-        if unknown:
-            raise MessageError(
-                f"message {self.name!r} has no field(s) {sorted(unknown)} "
-                f"(declared: {sorted(declared)})"
-            )
+        names = self._names
+        for key in values:
+            if key not in names:
+                unknown = sorted(set(values) - names)
+                raise MessageError(
+                    f"message {self.name!r} has no field(s) {unknown} "
+                    f"(declared: {sorted(names)})"
+                )
 
     def size_of(self, values: Mapping[str, Any], payload_size: int = 0) -> int:
-        total = MESSAGE_HEADER_BYTES + payload_size
-        for spec in self.fields:
-            total += spec.size_of(values.get(spec.name))
+        total = self.fixed_size + payload_size
+        for name, is_list, base in self._var_specs:
+            value = values.get(name)
+            if is_list:
+                try:
+                    length = len(value)
+                except TypeError:
+                    length = 0
+                total += 4 + base * length
+            elif isinstance(value, str):   # variable-width string scalar
+                encoded = len(value.encode("utf-8"))
+                total += encoded if encoded else 1
+            else:
+                total += base
         return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MessageType({self.name!r}, {len(self.fields)} fields, "
+                f"transport={self.transport!r})")
 
 
 _message_ids = itertools.count(1)
 
 
-@dataclass
 class Message:
     """An instance of a message type travelling between two overlay nodes.
 
@@ -102,33 +168,57 @@ class Message:
     application data (or a wrapped higher-layer message) of ``payload_size``
     bytes.  ``source`` is filled by the runtime on reception with the sender's
     host address, matching the paper's implicit ``from`` variable.
+
+    A slotted envelope: the wire size is memoised on first read (the type's
+    precomputed fixed size plus the value-dependent fields), and ``msg_id``
+    draws from the process-wide counter lazily, only if somebody asks.
     """
 
-    type: MessageType
-    fields: dict[str, Any] = field(default_factory=dict)
-    payload: Any = None
-    payload_size: int = 0
-    priority: int = -1
-    source: Optional[int] = None
-    dest: Optional[int] = None
-    dest_key: Optional[int] = None
-    protocol: str = ""
-    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    __slots__ = ("type", "fields", "payload", "payload_size", "priority",
+                 "source", "dest", "dest_key", "protocol", "_msg_id", "_size")
 
-    def __post_init__(self) -> None:
-        self.type.validate_fields(self.fields)
+    def __init__(self, type: MessageType, fields: Optional[dict[str, Any]] = None,
+                 payload: Any = None, payload_size: int = 0, priority: int = -1,
+                 source: Optional[int] = None, dest: Optional[int] = None,
+                 dest_key: Optional[int] = None, protocol: str = "",
+                 msg_id: Optional[int] = None) -> None:
+        if fields is None:
+            fields = {}
+        else:
+            type.validate_fields(fields)
+        self.type = type
+        self.fields = fields
+        self.payload = payload
+        self.payload_size = payload_size
+        self.priority = priority
+        self.source = source
+        self.dest = dest
+        self.dest_key = dest_key
+        self.protocol = protocol
+        self._msg_id = msg_id
+        self._size: Optional[int] = None
 
     @property
     def name(self) -> str:
         return self.type.name
 
     @property
+    def msg_id(self) -> int:
+        msg_id = self._msg_id
+        if msg_id is None:
+            msg_id = self._msg_id = next(_message_ids)
+        return msg_id
+
+    @property
     def size(self) -> int:
-        return self.type.size_of(self.fields, self.payload_size)
+        size = self._size
+        if size is None:
+            size = self._size = self.type.size_of(self.fields, self.payload_size)
+        return size
 
     def field(self, name: str) -> Any:
         """The paper's ``field()`` accessor."""
-        if name not in {spec.name for spec in self.type.fields}:
+        if name not in self.type._names:
             raise MessageError(f"message {self.name!r} has no field {name!r}")
         return self.fields.get(name)
 
@@ -139,12 +229,15 @@ class Message:
         if name in fields:
             return fields[name]
         msg_type = object.__getattribute__(self, "type")
-        if name in {spec.name for spec in msg_type.fields}:
+        if name in msg_type._names:
             return None
         raise AttributeError(name)
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Message({self.name!r}, fields={self.fields!r}, "
+                f"source={self.source}, dest={self.dest})")
 
-@dataclass
+
 class WrappedMessage:
     """A higher-layer message carried as the payload of a lower-layer message.
 
@@ -153,17 +246,27 @@ class WrappedMessage:
     is unwrapped by the Scribe agent on the receiving stack.
     """
 
-    protocol: str
-    name: str
-    fields: dict[str, Any]
-    payload: Any = None
-    payload_size: int = 0
-    source: Optional[int] = None
-    source_key: Optional[int] = None
-    size: int = 0
+    __slots__ = ("protocol", "name", "fields", "payload", "payload_size",
+                 "source", "source_key", "size")
+
+    def __init__(self, protocol: str, name: str, fields: dict[str, Any],
+                 payload: Any = None, payload_size: int = 0,
+                 source: Optional[int] = None, source_key: Optional[int] = None,
+                 size: int = 0) -> None:
+        self.protocol = protocol
+        self.name = name
+        self.fields = fields
+        self.payload = payload
+        self.payload_size = payload_size
+        self.source = source
+        self.source_key = source_key
+        self.size = size
 
     def as_message(self, message_type: MessageType) -> Message:
-        message = Message(
+        # Copy the field dict: a fanned-out wrapped message (multicast) is
+        # shared across deliveries, and each receiving agent gets its own
+        # mutable view, exactly as if it had come off its own wire.
+        return Message(
             type=message_type,
             fields=dict(self.fields),
             payload=self.payload,
@@ -171,7 +274,10 @@ class WrappedMessage:
             source=self.source,
             protocol=self.protocol,
         )
-        return message
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WrappedMessage({self.protocol!r}, {self.name!r}, "
+                f"fields={self.fields!r})")
 
 
 class MessageCatalog:
@@ -198,7 +304,7 @@ class MessageCatalog:
     def __contains__(self, name: str) -> bool:
         return name in self._types
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[MessageType]:
         return iter(self._types.values())
 
     def __len__(self) -> int:

@@ -246,7 +246,8 @@ class MacedonNode:
         message = payload
         message.source = src
         agent = self.stack.find_for_message(message.protocol) or self.stack.lowest
-        agent.trace("message_recv", message.name, source=src, size=size)
+        if agent._trace_med:   # "message_recv" records at TraceLevel.MED
+            agent.trace("message_recv", message.name, source=src, size=size)
         agent.receive_message(message, direction="recv")
 
     # -------------------------------------------------------------- failure path

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from .engine import EventHandle, Simulator
+from .engine import Simulator
 
 
 class TimerError(RuntimeError):
@@ -36,14 +36,30 @@ class TimerSpec:
 
 
 class ProtocolTimer:
-    """One named timer owned by an agent instance."""
+    """One named timer owned by an agent instance.
+
+    Timers are the protocol plane's per-send churn: every periodic transition
+    reschedules its own timer, so the old one-``EventHandle``-per-fire scheme
+    allocated an ``_Event`` + handle + label string for every maintenance
+    beat of every node.  The fast path instead rides the kernel's
+    generation-counter entries (:meth:`Simulator.schedule_gen`): one shared
+    one-int *cell* per timer, bumped to cancel, with the ``_armed`` flag
+    maintaining the kernel's one-pending-entry-per-cell invariant.
+    """
+
+    __slots__ = ("spec", "simulator", "_on_expire", "_cell", "_armed",
+                 "_deadline", "fire_count")
 
     def __init__(self, spec: TimerSpec, simulator: Simulator,
                  on_expire: Callable[[str], None]) -> None:
         self.spec = spec
         self.simulator = simulator
         self._on_expire = on_expire
-        self._handle: Optional[EventHandle] = None
+        #: Generation cell shared with the kernel's heap entries; bumping the
+        #: int cancels whatever entry captured the previous value.
+        self._cell = [0]
+        self._armed = False
+        self._deadline = 0.0
         self.fire_count = 0
 
     @property
@@ -52,13 +68,13 @@ class ProtocolTimer:
 
     @property
     def scheduled(self) -> bool:
-        return self._handle is not None and not self._handle.cancelled
+        return self._armed
 
     @property
     def expires_at(self) -> Optional[float]:
-        if not self.scheduled:
+        if not self._armed:
             return None
-        return self._handle.time
+        return self._deadline
 
     def schedule(self, delay: Optional[float] = None) -> None:
         """Schedule the timer *delay* seconds from now.
@@ -76,24 +92,26 @@ class ProtocolTimer:
             )
         if delay < 0:
             raise TimerError(f"timer {self.name!r} scheduled with negative delay {delay}")
-        self.cancel()
-        self._handle = self.simulator.schedule(
-            delay, self._fire, label=f"timer:{self.name}"
-        )
+        simulator = self.simulator
+        if self._armed:
+            simulator.cancel_gen(self._cell)
+        self._armed = True
+        self._deadline = simulator._now + delay
+        simulator.schedule_gen(delay, self._fire, self._cell)
 
     def reschedule(self, delay: Optional[float] = None) -> None:
         """Alias for :meth:`schedule`; mirrors the paper's ``timer_resched``."""
         self.schedule(delay)
 
     def cancel(self) -> None:
-        if self._handle is not None:
-            self._handle.cancel()
-            self._handle = None
+        if self._armed:
+            self._armed = False
+            self.simulator.cancel_gen(self._cell)
 
     def _fire(self) -> None:
-        self._handle = None
+        self._armed = False
         self.fire_count += 1
-        self._on_expire(self.name)
+        self._on_expire(self.spec.name)
 
 
 class TimerTable:

@@ -27,7 +27,7 @@ from __future__ import annotations
 import abc
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from ..network.emulator import NetworkEmulator
@@ -36,6 +36,10 @@ from ..runtime.engine import Simulator
 
 #: Upcall signature: (source host address, payload, payload size, transport name).
 DeliverUpcall = Callable[[int, Any, int, str], None]
+
+
+class TransportError(RuntimeError):
+    """Raised for misconfigured transport declarations or unknown instances."""
 
 
 class TransportKind(enum.Enum):
@@ -53,36 +57,70 @@ class TransportKind(enum.Enum):
             raise ValueError(f"unknown transport kind {text!r}") from exc
 
 
-@dataclass
 class Segment:
-    """What a transport puts inside a network packet."""
+    """What a reliable transport puts inside a network packet.
 
-    transport: str
-    kind: str              # "DATA" or "ACK"
-    seq: int
-    payload: Any = None
-    size: int = 0
-    ack: int = -1
-    #: Identifier of the logical message this segment belongs to (for reassembly).
-    msg_id: int = 0
-    #: Index / count of this segment within its logical message.
-    chunk: int = 0
-    chunks: int = 1
-    #: Incarnation of the sending host (bumped on fail-stop recovery).  The
-    #: reliable transports use it the way TCP uses new ISNs after a restart:
-    #: a higher epoch from a peer resets the connection, a lower one is a
-    #: stale pre-crash segment and is discarded.
-    epoch: int = 0
-    #: The incarnation the sender believes the *destination* is running.  A
-    #: receiver that has restarted past this value drops the segment (it was
-    #: aimed at its dead incarnation) and answers with a challenge ACK
-    #: carrying its current epoch.  The sender then resets the connection
-    #: and continues on a fresh stream; segments already in flight to the
-    #: dead incarnation are LOST, exactly as unacknowledged data is lost in
-    #: a real TCP connection reset (the restarted receiver has no state to
-    #: deliver them into).  Queued-but-untransmitted messages ride the new
-    #: stream.
-    dest_epoch: int = 0
+    A ``__slots__`` class with a hand-written constructor rather than a
+    dataclass: one is allocated per DATA segment and per ACK, which makes it
+    protocol-plane hot-path state (see docs/PERFORMANCE.md).
+    """
+
+    __slots__ = ("transport", "kind", "seq", "payload", "size", "ack",
+                 "msg_id", "chunk", "chunks", "epoch", "dest_epoch")
+
+    def __init__(self, transport: str, kind: str = "DATA", seq: int = 0,
+                 payload: Any = None, size: int = 0, ack: int = -1,
+                 msg_id: int = 0, chunk: int = 0, chunks: int = 1,
+                 epoch: int = 0, dest_epoch: int = 0) -> None:
+        self.transport = transport
+        self.kind = kind       # "DATA" or "ACK"
+        self.seq = seq
+        self.payload = payload
+        self.size = size
+        self.ack = ack
+        #: Identifier of the logical message this segment belongs to (for
+        #: reassembly); ``chunk``/``chunks`` index it within that message.
+        self.msg_id = msg_id
+        self.chunk = chunk
+        self.chunks = chunks
+        #: Incarnation of the sending host (bumped on fail-stop recovery).
+        #: The reliable transports use it the way TCP uses new ISNs after a
+        #: restart: a higher epoch from a peer resets the connection, a lower
+        #: one is a stale pre-crash segment and is discarded.
+        self.epoch = epoch
+        #: The incarnation the sender believes the *destination* is running.
+        #: A receiver that has restarted past this value drops the segment
+        #: (it was aimed at its dead incarnation) and answers with a
+        #: challenge ACK carrying its current epoch.  The sender then resets
+        #: the connection and continues on a fresh stream; segments already
+        #: in flight to the dead incarnation are LOST, exactly as
+        #: unacknowledged data is lost in a real TCP connection reset (the
+        #: restarted receiver has no state to deliver them into).
+        #: Queued-but-untransmitted messages ride the new stream.
+        self.dest_epoch = dest_epoch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Segment({self.transport!r}, {self.kind}, seq={self.seq}, "
+                f"size={self.size}, ack={self.ack})")
+
+
+class Datagram:
+    """The inlined best-effort wire format: one unfragmented UDP message.
+
+    Best-effort single-segment sends are the dominant traffic class, and they
+    use none of the reliable machinery — no sequence numbers, no ACK field,
+    no reassembly indices, no epoch checks (the UDP receive path never read
+    them).  This three-slot envelope replaces the eleven-field
+    :class:`Segment` on that path; the demux dispatches on its type before
+    touching the segment machinery.
+    """
+
+    __slots__ = ("transport", "payload", "size")
+
+    def __init__(self, transport: str, payload: Any, size: int) -> None:
+        self.transport = transport
+        self.payload = payload
+        self.size = size
 
 
 @dataclass
@@ -170,6 +208,18 @@ class Transport(abc.ABC):
     @abc.abstractmethod
     def handle_segment(self, src: int, segment: Segment) -> None:
         """Process a segment received from host *src*."""
+
+    def handle_datagram(self, src: int, datagram: Datagram) -> None:
+        """Process an inlined best-effort datagram.
+
+        Only the best-effort transport produces (and therefore accepts)
+        :class:`Datagram` envelopes; a reliable transport receiving one means
+        the peer's stack binds this transport name to a different kind.
+        """
+        raise TransportError(
+            f"transport {self.name!r} ({self.kind.value}) received a "
+            f"best-effort datagram; peer stack binds this name to UDP"
+        )
 
     def close(self) -> None:
         """Release timers and queued state (fail-stop crash of the host).

@@ -14,15 +14,11 @@ from typing import Any, Optional
 from ..network.emulator import NetworkEmulator
 from ..network.packet import Packet
 from ..runtime.engine import Simulator
-from .base import DeliverUpcall, Segment, Transport, TransportKind
+from .base import (DeliverUpcall, Datagram, Segment, Transport,
+                   TransportError, TransportKind)
 from .swp import SwpTransport
 from .tcp import TcpTransport
 from .udp import UdpTransport
-
-
-class TransportError(RuntimeError):
-    """Raised for misconfigured transport declarations or unknown instances."""
-
 
 _TRANSPORT_CLASSES = {
     TransportKind.TCP: TcpTransport,
@@ -99,7 +95,10 @@ class TransportHost:
         """Send *payload* via the named transport instance."""
         if not self.active:
             return  # Crashed host: outgoing traffic silently vanishes.
-        self.get(transport_name).send(dst, payload, size, payload_tag)
+        transport = self._transports.get(transport_name)
+        if transport is None:
+            self.get(transport_name)  # raises the detailed TransportError
+        transport.send(dst, payload, size, payload_tag)
 
     # --------------------------------------------------------------- lifecycle
     def shutdown(self) -> None:
@@ -119,6 +118,17 @@ class TransportHost:
         if not self.active:
             return  # Crashed host: arrivals fall on dead silicon.
         segment = packet.payload
+        if type(segment) is Datagram:
+            # Inlined best-effort fast path: dominant traffic class, checked
+            # first, dispatched without touching the reliable machinery.
+            transport = self._transports.get(segment.transport)
+            if transport is None:
+                raise TransportError(
+                    f"host {self.local_address} received datagram for "
+                    f"undeclared transport {segment.transport!r}"
+                )
+            transport.handle_datagram(packet.src, segment)
+            return
         if not isinstance(segment, Segment):
             # Not transport traffic (e.g. a raw test packet); ignore silently.
             return

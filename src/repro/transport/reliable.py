@@ -19,10 +19,8 @@ from __future__ import annotations
 
 import abc
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from ..runtime.engine import EventHandle
 from .base import Segment, Transport, TransportKind
 
 
@@ -82,19 +80,25 @@ class FixedWindow(WindowPolicy):
         return self._window
 
 
-@dataclass
 class _InFlight:
-    segment: Segment
-    size: int
-    sent_at: float
-    retransmitted: bool = False
+    __slots__ = ("segment", "size", "sent_at", "retransmitted")
+
+    def __init__(self, segment: Segment, size: int, sent_at: float,
+                 retransmitted: bool = False) -> None:
+        self.segment = segment
+        self.size = size
+        self.sent_at = sent_at
+        self.retransmitted = retransmitted
 
 
-@dataclass
 class _QueuedSegment:
-    segment: Segment
-    size: int
-    payload_tag: Optional[str]
+    __slots__ = ("segment", "size", "payload_tag")
+
+    def __init__(self, segment: Segment, size: int,
+                 payload_tag: Optional[str]) -> None:
+        self.segment = segment
+        self.size = size
+        self.payload_tag = payload_tag
 
 
 class ReliableConnection:
@@ -119,7 +123,11 @@ class ReliableConnection:
         self.srtt: Optional[float] = None
         self.rttvar = 0.0
         self.rto = self.INITIAL_RTO
-        self._timer: Optional[EventHandle] = None
+        # Retransmission timer, re-armed on every transmit and every ACK: it
+        # rides the kernel's generation-counter entries (schedule_gen) so the
+        # constant re-arming allocates no EventHandle/_Event/label per packet.
+        self._timer_cell = [0]
+        self._timer_armed = False
         # Receiver state.
         self.expected_seq = 0
         self.out_of_order: dict[int, Segment] = {}
@@ -137,8 +145,14 @@ class ReliableConnection:
 
     def _pump(self) -> None:
         """Transmit queued segments while the window allows."""
-        while self.queue and len(self.in_flight) < int(self.policy.window()):
-            item = self.queue.popleft()
+        queue = self.queue
+        if not queue:
+            return
+        # The window only moves on ACK/timeout events, never inside the
+        # pump loop, so it is evaluated once per pump.
+        window = int(self.policy.window())
+        while queue and len(self.in_flight) < window:
+            item = queue.popleft()
             item.segment.seq = self.next_seq
             self.next_seq += 1
             self._transmit(item.segment, item.size, item.payload_tag)
@@ -166,20 +180,20 @@ class ReliableConnection:
         self._arm_timer()
 
     def _arm_timer(self) -> None:
-        if self._timer is not None:
-            self._timer.cancel()
+        simulator = self.transport.simulator
+        if self._timer_armed:
+            self._timer_armed = False
+            simulator.cancel_gen(self._timer_cell)
         if not self.in_flight:
-            self._timer = None
             return
-        self._timer = self.transport.simulator.schedule(
-            self.rto, self._on_timeout, label=f"rto:{self.transport.name}:{self.peer}"
-        )
+        self._timer_armed = True
+        simulator.schedule_gen(self.rto, self._on_timeout, self._timer_cell)
 
     def close(self) -> None:
         """Drop all connection state and cancel the retransmission timer."""
-        if self._timer is not None:
-            self._timer.cancel()
-            self._timer = None
+        if self._timer_armed:
+            self._timer_armed = False
+            self.transport.simulator.cancel_gen(self._timer_cell)
         self.queue.clear()
         self.in_flight.clear()
         self.out_of_order.clear()
@@ -197,9 +211,9 @@ class ReliableConnection:
         stream.
         """
         self.peer_epoch = epoch
-        if self._timer is not None:
-            self._timer.cancel()
-            self._timer = None
+        if self._timer_armed:
+            self._timer_armed = False
+            self.transport.simulator.cancel_gen(self._timer_cell)
         self.in_flight.clear()
         self.next_seq = 0
         self.send_base = 0
@@ -211,8 +225,8 @@ class ReliableConnection:
         self._pump()
 
     def _on_timeout(self) -> None:
+        self._timer_armed = False
         if not self.in_flight:
-            self._timer = None
             return
         self.policy.on_timeout()
         self.rto = min(self.rto * 2.0, self.MAX_RTO)
@@ -240,10 +254,15 @@ class ReliableConnection:
             return
         self.dup_acks = 0
         newly_acked = 0
-        now = self.transport.simulator.now
-        for seq in list(self.in_flight):
-            if seq < ack:
-                entry = self.in_flight.pop(seq)
+        now = self.transport.simulator._now
+        in_flight = self.in_flight
+        # In-flight sequence numbers are contiguous in [send_base, next_seq),
+        # so the acked prefix is exactly range(send_base, ack) — walking it
+        # (ascending, the dict's insertion order) pops the same entries in
+        # the same order as scanning the whole dict, without the list copy.
+        for seq in range(self.send_base, min(ack, self.next_seq)):
+            entry = in_flight.pop(seq, None)
+            if entry is not None:
                 newly_acked += 1
                 if not entry.retransmitted:
                     self._update_rtt(now - entry.sent_at)

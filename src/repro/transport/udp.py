@@ -5,13 +5,21 @@ more datagrams fired straight into the emulator; losses are not recovered and
 there is no pacing.  Overlays use it for messages whose loss is tolerable
 (periodic probes, soft-state refreshes, join requests that are retried by a
 timer anyway).
+
+The common case — a message that fits in one MSS — is fully inlined: a
+three-slot :class:`Datagram` envelope goes straight into a
+:class:`~repro.network.packet.Packet`, skipping :class:`Segment`
+construction, the ``_send_packet`` indirection, and (on the receive side) the
+reliable demux machinery.  Only oversized messages fall back to segments and
+fragmentation.
 """
 
 from __future__ import annotations
 
 from typing import Any, Optional
 
-from .base import Segment, Transport, TransportKind
+from ..network.packet import Packet
+from .base import Datagram, Segment, Transport, TransportKind
 
 
 class UdpTransport(Transport):
@@ -23,11 +31,22 @@ class UdpTransport(Transport):
 
     def send(self, dst: int, payload: Any, size: int,
              payload_tag: Optional[str] = None) -> None:
-        self.stats.messages_sent += 1
+        stats = self.stats
+        stats.messages_sent += 1
         if size <= self.MSS:
-            segment = Segment(transport=self.name, kind="DATA", seq=0,
-                              payload=payload, size=size, epoch=self.epoch)
-            self._send_packet(dst, segment, size, payload_tag)
+            # Inlined best-effort fast path (no Segment, no _send_packet).
+            protocol = self._protocol_label
+            if protocol is None:
+                protocol = self._protocol_label = f"udp:{self.name}"
+            accepted = self.emulator.send(
+                Packet(src=self.local_address, dst=dst,
+                       payload=Datagram(self.name, payload, size),
+                       size=size, protocol=protocol),
+                payload_tag=payload_tag)
+            stats.segments_sent += 1
+            stats.bytes_sent += size
+            if not accepted:
+                stats.drops += 1
             return
         # Fragment oversized messages; the receiver reassembles, and if any
         # fragment is lost the whole message is lost (as with IP fragmentation).
@@ -44,6 +63,10 @@ class UdpTransport(Transport):
                 epoch=self.epoch,
             )
             self._send_packet(dst, segment, chunk_size, payload_tag)
+
+    def handle_datagram(self, src: int, datagram: Datagram) -> None:
+        self.stats.segments_received += 1
+        self._deliver_up(src, datagram.payload, datagram.size)
 
     def handle_segment(self, src: int, segment: Segment) -> None:
         self.stats.segments_received += 1

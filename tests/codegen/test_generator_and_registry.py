@@ -73,6 +73,20 @@ def test_compiled_class_attributes():
     assert agent_class.TRANSITIONS[2].locking == "read"
 
 
+def test_generated_transition_index_matches_transitions():
+    # The emitted dispatch table must cover exactly the declared (kind, name)
+    # events and point at the right TRANSITIONS positions, in declaration
+    # order — it is what the runtime dispatches deliveries through.
+    agent_class = compile_mac(SIMPLE, "tiny.mac")
+    index = agent_class.TRANSITION_INDEX
+    assert set(index) == {("api", "init"), ("recv", "hello"),
+                          ("timer", "tick")}
+    for (kind, name), positions in index.items():
+        assert positions == tuple(
+            i for i, t in enumerate(agent_class.TRANSITIONS)
+            if (t.kind, t.name) == (kind, name))
+
+
 def test_registry_lists_all_bundled_protocols():
     registry = get_registry()
     available = registry.available()

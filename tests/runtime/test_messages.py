@@ -87,3 +87,36 @@ def test_message_ids_unique(join_reply):
     a = Message(type=join_reply, fields={"response": 1})
     b = Message(type=join_reply, fields={"response": 2})
     assert a.msg_id != b.msg_id
+
+
+def test_unknown_field_type_rejected_at_spec_compile_time():
+    # A typo'd field type must fail when the MessageType is built (i.e. when
+    # the generated module imports), not silently charge a default size on
+    # the first send.
+    with pytest.raises(MessageError, match="unknown type 'in_t'"):
+        MessageType("join_reply", (FieldSpec("response", "in_t"),))
+    with pytest.raises(MessageError, match="unknown type"):
+        MessageType("probe", (FieldSpec("peers", "nieghbor", is_list=True),))
+
+
+def test_field_spec_size_of_unknown_type_raises():
+    with pytest.raises(MessageError, match="unknown type"):
+        FieldSpec("x", "quaternion").size_of(1)
+
+
+def test_fixed_size_precomputed_and_var_fields_counted_per_send(join_reply):
+    # int (4) is folded into fixed_size with the 16-byte header; the ipaddr
+    # list stays per-send.
+    assert join_reply.fixed_size == MESSAGE_HEADER_BYTES + 4
+    assert join_reply.size_of({"response": 1, "siblings": []}) == \
+        join_reply.fixed_size + 4
+    assert join_reply.size_of({"response": 1, "siblings": [1, 2]}) == \
+        join_reply.fixed_size + 4 + 2 * 4
+
+
+def test_empty_string_field_still_costs_a_byte():
+    note = MessageType("note", (FieldSpec("text", "string"),))
+    assert Message(type=note, fields={"text": ""}).size == \
+        MESSAGE_HEADER_BYTES + 1
+    # An unset string field is charged the declared base width.
+    assert Message(type=note).size == MESSAGE_HEADER_BYTES + 16
