@@ -412,56 +412,77 @@ def metrics_fingerprint(seed: int = 7, num_hosts: int = 64,
 
 
 # --------------------------------------------------------------------- check
+def _nested_get(document, *path):
+    """Walk nested dicts; None as soon as a key is missing.
+
+    The reference entry may predate a benchmark (first run after a new bench
+    name lands) and the entry may drop one; a missing name must be reported
+    and skipped, never KeyError the whole check.
+    """
+    for key in path:
+        if not isinstance(document, dict):
+            return None
+        document = document.get(key)
+        if document is None:
+            return None
+    return document
+
+
 def check_against(entry: dict, reference: dict | None, position: int) -> int:
     """Compare *entry*'s throughput against the *reference* entry.
 
     Kernel events/s, emulator packets/s, scenario_churn events/s, and the
     scale benches' events/s may not regress more than
-    ``CHECK_REGRESSION_TOLERANCE`` below the last ``BENCH_core.json`` entry
-    (rates the reference does not record are skipped).  Returns 0 when
-    within tolerance (or when there is no history to compare against), 1 on
-    regression.
+    ``CHECK_REGRESSION_TOLERANCE`` below the last ``BENCH_core.json`` entry.
+    Benchmark names the reference (or the entry) does not record — a newly
+    added bench on its first gated run — are reported and skipped.  Returns
+    0 when within tolerance (or when there is no history to compare
+    against), 1 on regression.
     """
     if reference is None:
         print("\n--check: no recorded BENCH_core.json entry to compare "
               "against; skipping")
         return 0
-    checks = [
-        ("kernel events/s", entry["kernel"]["events_per_sec"],
-         reference["kernel"]["events_per_sec"]),
-        ("emulator packets/s", entry["emulator"]["packets_per_sec"],
-         reference["emulator"]["packets_per_sec"]),
-    ]
-    if "scenario_churn" in reference:
-        checks.append(
-            ("scenario_churn events/s",
-             entry["scenario_churn"]["events_per_sec"],
-             reference["scenario_churn"]["events_per_sec"]))
+    checks = []
     skipped = []
-    if "scale" in reference:
-        # Rates are only comparable at identical workload shapes; a smoke
-        # run keeps its small scale budget, so its scale rates are not
-        # gated (the full-size gate runs on full benchmark invocations).
-        for proto, size_keys in (("chord", ("nodes", "duration")),
-                                 ("scribe", ("nodes",))):
-            entry_bench = entry["scale"][proto]
-            reference_bench = reference["scale"][proto]
-            if all(entry_bench[key] == reference_bench[key]
-                   for key in size_keys):
-                checks.append(
-                    (f"scale {proto} events/s",
-                     entry_bench["events_per_sec"],
-                     reference_bench["events_per_sec"]))
-            else:
-                skipped.append(f"scale {proto}")
+    for name, path in (
+        ("kernel events/s", ("kernel", "events_per_sec")),
+        ("emulator packets/s", ("emulator", "packets_per_sec")),
+        ("scenario_churn events/s", ("scenario_churn", "events_per_sec")),
+    ):
+        measured = _nested_get(entry, *path)
+        recorded = _nested_get(reference, *path)
+        if measured is None or recorded is None:
+            skipped.append((name, "not recorded in both entries"))
+            continue
+        checks.append((name, measured, recorded))
+    # Scale rates are only comparable at identical workload shapes; a smoke
+    # run keeps its small scale budget, so its scale rates are not gated
+    # (the full-size gate runs on full benchmark invocations).
+    for proto, size_keys in (("chord", ("nodes", "duration")),
+                             ("scribe", ("nodes",))):
+        entry_bench = _nested_get(entry, "scale", proto)
+        reference_bench = _nested_get(reference, "scale", proto)
+        if entry_bench is None or reference_bench is None:
+            skipped.append((f"scale {proto}", "not recorded in both entries"))
+            continue
+        if all(entry_bench.get(key) == reference_bench.get(key)
+               for key in size_keys):
+            checks.append(
+                (f"scale {proto} events/s",
+                 entry_bench["events_per_sec"],
+                 reference_bench["events_per_sec"]))
+        else:
+            skipped.append((f"scale {proto}",
+                            "run at different sizes than the reference "
+                            "(smoke budget); rate not compared"))
     floor = 1.0 - CHECK_REGRESSION_TOLERANCE
     failed = False
     print(f"\n--check vs entry #{position} "
           f"({reference.get('label') or 'unlabelled'}, "
           f"{reference.get('git_rev', '?')}):")
-    for name in skipped:
-        print(f"  {name}: run at different sizes than the reference "
-              f"(smoke budget); rate not compared")
+    for name, reason in skipped:
+        print(f"  {name}: {reason}")
     for name, measured, recorded in checks:
         ratio = measured / recorded if recorded else float("inf")
         verdict = "OK" if ratio >= floor else "REGRESSION"
@@ -580,28 +601,35 @@ def main(argv: list[str] | None = None) -> int:
             # (kernel/emulator are ~a second each; the scenario and scale
             # benches dominate but stay within a CI-friendly minute).
             # Older entries did not record every size; keep defaults then.
+            # Sizes missing from the reference (an entry recorded before a
+            # bench name existed) drop out: the bench then runs at its
+            # defaults and check_against skips its rate comparison.
             checked_sizes = {
-                "events": reference["kernel"]["events"],
-                "hosts": reference["emulator"]["hosts"],
-                "packets": reference["emulator"]["packets"],
-                "neighbors": reference["emulator"].get("neighbors",
-                                                       args.neighbors),
+                "events": _nested_get(reference, "kernel", "events"),
+                "hosts": _nested_get(reference, "emulator", "hosts"),
+                "packets": _nested_get(reference, "emulator", "packets"),
+                "neighbors": _nested_get(reference, "emulator", "neighbors"),
+                "scenario_nodes":
+                    _nested_get(reference, "scenario_churn", "nodes"),
+                "scenario_duration":
+                    _nested_get(reference, "scenario_churn", "duration"),
             }
-            if "scenario_churn" in reference:
-                checked_sizes["scenario_nodes"] = \
-                    reference["scenario_churn"]["nodes"]
-                checked_sizes["scenario_duration"] = \
-                    reference["scenario_churn"]["duration"]
             # The scale benches are only re-run at reference sizes on full
             # invocations: a smoke run keeps its small scale budget (the CI
             # job's wall-clock cap) and check_against skips their rate
             # comparison instead.
-            if "scale" in reference and not args.smoke:
-                checked_sizes["scale_nodes"] = reference["scale"]["chord"]["nodes"]
-                checked_sizes["scale_duration"] = \
-                    reference["scale"]["chord"]["duration"]
-                checked_sizes["scale_scribe_nodes"] = \
-                    reference["scale"]["scribe"]["nodes"]
+            if not args.smoke:
+                checked_sizes.update({
+                    "scale_nodes":
+                        _nested_get(reference, "scale", "chord", "nodes"),
+                    "scale_duration":
+                        _nested_get(reference, "scale", "chord", "duration"),
+                    "scale_scribe_nodes":
+                        _nested_get(reference, "scale", "scribe", "nodes"),
+                })
+            checked_sizes = {name: size
+                             for name, size in checked_sizes.items()
+                             if size is not None}
             overridden = {name: (getattr(args, name), size)
                           for name, size in checked_sizes.items()
                           if getattr(args, name) != size}

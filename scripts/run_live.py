@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Boot a live localhost deployment of a registry-compiled protocol.
+
+The live half of the paper's evaluation story: the same ``.mac``-generated
+agents that run in simulation are booted as N OS processes exchanging real
+UDP datagrams (see docs/LIVE.md), driven through a staggered join wave and a
+route or multicast workload, and scored with the same metric shapes the
+scenario runner reports.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_live.py --nodes 8 --duration 5
+    PYTHONPATH=src python scripts/run_live.py --nodes 32 --duration 15 \
+        --packets 200 --min-success 0.9
+
+Prints one JSON document (aggregate metrics plus per-node summaries) and
+exits non-zero if the workload success ratio lands below ``--min-success`` —
+which is how CI's live-mode smoke job gates deployability without touching
+the benchmark history (this script never writes BENCH_core.json).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.live import LiveCluster, LiveClusterConfig  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0],
+                                     allow_abbrev=False)
+    parser.add_argument("--nodes", type=int, default=8,
+                        help="number of node processes (default 8)")
+    parser.add_argument("--protocol", default="chord",
+                        help="registry protocol to deploy (default chord)")
+    parser.add_argument("--workload", choices=("route", "multicast"),
+                        default="route",
+                        help="measurement workload (default route)")
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="measurement horizon in wall seconds; the join "
+                             "wave, settle, and workload all fit inside it "
+                             "(default 10)")
+    parser.add_argument("--packets", type=int, default=None,
+                        help="total workload packets "
+                             "(default: 8 per node for route, 16 multicast)")
+    parser.add_argument("--payload-size", type=int, default=1000,
+                        help="declared payload bytes per packet (default 1000)")
+    parser.add_argument("--join-spacing", type=float, default=0.15,
+                        help="seconds between successive joins (default 0.15)")
+    parser.add_argument("--settle", type=float, default=1.0,
+                        help="seconds between the last join and the first "
+                             "workload packet (default 1.0)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="seed for per-node RNG streams (default 1)")
+    parser.add_argument("--base-port", type=int, default=47000,
+                        help="first UDP port; node i binds base+i "
+                             "(default 47000)")
+    parser.add_argument("--fix-period", type=float, default=0.5,
+                        help="chord fix-fingers period in seconds; 0 keeps "
+                             "the specification default (default 0.5)")
+    parser.add_argument("--min-success", type=float, default=None,
+                        help="exit 1 if workload success ratio is below this")
+    parser.add_argument("--per-node", action="store_true",
+                        help="include full per-node reports in the output")
+    args = parser.parse_args(argv)
+
+    packets = args.packets
+    if packets is None:
+        packets = 8 * args.nodes if args.workload == "route" else 16
+    config = LiveClusterConfig(
+        nodes=args.nodes,
+        protocol=args.protocol,
+        workload=args.workload,
+        duration=args.duration,
+        packets=packets,
+        payload_size=args.payload_size,
+        join_spacing=args.join_spacing,
+        settle=args.settle,
+        seed=args.seed,
+        base_port=args.base_port,
+        fix_period=args.fix_period or None,
+    )
+    outcome = LiveCluster(config).run()
+
+    document = {
+        "name": outcome.result.name,
+        "nodes": args.nodes,
+        "duration": args.duration,
+        "packets": packets,
+        "metrics": outcome.metrics,
+    }
+    if args.per_node:
+        document["per_node"] = outcome.per_node
+    else:
+        document["per_node"] = [
+            {key: report[key] for key in
+             ("address", "state", "sent", "delivered")}
+            for report in outcome.per_node
+        ]
+    print(json.dumps(document, indent=2))
+
+    if args.min_success is not None:
+        success = outcome.metrics["workload.success_ratio"]
+        if success < args.min_success:
+            print(f"FAILED: workload success ratio {success:.3f} < "
+                  f"required {args.min_success}", file=sys.stderr)
+            return 1
+        print(f"OK: workload success ratio {success:.3f} >= "
+              f"{args.min_success}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ from .metrics import (
     average_correct_route_entries,
     chord_correct_entry_count,
     correct_chord_fingers,
+    correct_successor_fraction,
     group_by_site,
     link_stress,
     mean,
@@ -49,6 +50,7 @@ __all__ = [
     "average_correct_route_entries",
     "chord_correct_entry_count",
     "correct_chord_fingers",
+    "correct_successor_fraction",
     "group_by_site",
     "link_stress",
     "mean",

@@ -160,6 +160,37 @@ def average_correct_route_entries(nodes: Sequence[MacedonNode],
     return total / max(1, len(nodes))
 
 
+def correct_successor_fraction(ring: Sequence[tuple[int, int]],
+                               successors: dict[int, int]) -> float:
+    """Fraction of nodes whose successor pointer is ring-correct.
+
+    ``ring`` is the global membership as (key, address) pairs; ``successors``
+    maps each address to the successor address that node currently believes
+    in.  The correct successor of a node is the member with the next key
+    clockwise.  Works from any observation source — simulated agents or the
+    per-node reports a live cluster collects (global knowledge lives at the
+    coordinator there, exactly as ModelNet's does in the paper).
+    """
+    ordered = sorted(set(ring))
+    if not ordered:
+        return 0.0
+    # A singleton ring falls through to the general rule: the sole member's
+    # correct successor is itself, so a stale pointer still scores 0.
+    correct = 0
+    total = 0
+    for index, (_key, address) in enumerate(ordered):
+        reported = successors.get(address)
+        if reported is None:
+            continue
+        total += 1
+        expected = ordered[(index + 1) % len(ordered)][1]
+        if reported == expected:
+            correct += 1
+    if total == 0:
+        return 0.0
+    return correct / total
+
+
 # ------------------------------------------------------------------ tree metrics
 def multicast_tree_depths(nodes: Sequence[MacedonNode], protocol: str) -> dict[int, int]:
     """Depth of each node in a tree overlay (root depth 0); -1 if detached."""

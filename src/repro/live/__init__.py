@@ -1,0 +1,31 @@
+"""Live execution: the unchanged protocol runtime over real sockets.
+
+The paper evaluates each generated protocol twice — in simulation and in a
+*live deployment* where the same generated code exchanges real packets.  This
+package is the live half of the reproduction:
+
+* :class:`~repro.live.driver.LiveDriver` — the wall-clock asyncio
+  implementation of the :class:`~repro.runtime.driver.Driver` contract, so
+  agents, timers, failure detection, and the reliable transports run
+  unmodified against real elapsed time;
+* :class:`~repro.transport.udp.SocketUdpNetwork` (in the transport package) —
+  the socket-backed counterpart of the network emulator, framing the same
+  ``Datagram``/``Segment`` envelopes over UDP datagrams between processes;
+* :class:`~repro.live.cluster.LiveCluster` — the multi-process harness that
+  boots N localhost nodes, drives a join wave plus a route or multicast
+  workload, and aggregates per-node observations into the same metric shapes
+  the scenario runner reports.
+
+See docs/LIVE.md for the architecture and scripts/run_live.py for the CLI.
+"""
+
+from .cluster import LiveCluster, LiveClusterConfig, LiveClusterError, LiveClusterResult
+from .driver import LiveDriver
+
+__all__ = [
+    "LiveCluster",
+    "LiveClusterConfig",
+    "LiveClusterError",
+    "LiveClusterResult",
+    "LiveDriver",
+]

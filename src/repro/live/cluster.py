@@ -1,0 +1,442 @@
+"""Multi-process live deployments on localhost.
+
+:class:`LiveCluster` is the live counterpart of the scenario engine's
+:class:`~repro.eval.scenario.ScenarioSpec`: it boots N OS processes, each
+running one :class:`~repro.runtime.node.MacedonNode` with the *unchanged*
+registry-compiled protocol stack on a :class:`~repro.live.driver.LiveDriver`
+clock and a :class:`~repro.transport.udp.SocketUdpNetwork` socket, drives a
+staggered join wave plus a route or multicast workload, and aggregates every
+process's observations into the same metric shapes the scenario runner
+reports (``workload.success_ratio``, ``workload.latency_*``,
+``sim.events_processed``, …) so simulated and live runs of one specification
+are directly comparable — the paper's Figure-1 promise.
+
+Coordination is deliberately minimal: endpoints are a static address→port
+map computed up front, a process barrier aligns the zero of every node's
+wall clock, and results come back over a queue.  There is no runtime
+coordinator in the data path — once the barrier drops, the only
+communication between nodes is protocol traffic over their UDP sockets.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..eval.metrics import correct_successor_fraction, mean, percentile
+from ..eval.scenario import ScenarioResult
+
+#: Stream id stamped on workload probes so application traffic of the
+#: deployment under test is never miscounted (mirrors the scenario engine's
+#: auto-assigned workload streams).
+LIVE_WORKLOAD_STREAM = 7001
+
+#: Lowest overlay address; 0 is avoided because the specs treat a zero
+#: address as "unset" (``if candidate:`` guards).
+_FIRST_ADDRESS = 1
+
+
+class LiveClusterError(RuntimeError):
+    """Raised when a live deployment fails to boot, run, or report."""
+
+
+@dataclass(frozen=True)
+class LiveClusterConfig:
+    """One declarative live deployment (the live twin of a ScenarioSpec)."""
+
+    nodes: int = 8
+    protocol: str = "chord"
+    base_overrides: Optional[dict] = None
+    #: Measurement horizon in wall-clock seconds: the workload finishes by
+    #: this offset; processes shut down ``drain`` seconds later.
+    duration: float = 10.0
+    join_spacing: float = 0.15
+    #: Seconds between the last join and the first workload packet.
+    settle: float = 1.0
+    #: Seconds after the workload window for in-flight deliveries to land.
+    drain: float = 1.0
+    workload: str = "route"           # "route" | "multicast"
+    packets: int = 64                 # total probes (route) or sends (multicast)
+    payload_size: int = 1000
+    group: int = 4040                 # multicast group key
+    seed: int = 1
+    host: str = "127.0.0.1"
+    base_port: int = 47000
+    #: Chord's fix-fingers period, applied to any agent exposing the knob
+    #: (None leaves the specification default).
+    fix_period: Optional[float] = 0.5
+    #: multiprocessing start method; None picks "fork" where available
+    #: (children inherit the compiled registry) and "spawn" elsewhere.
+    start_method: Optional[str] = None
+    #: Seconds each process gets to import, compile, and bind its socket.
+    startup_timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise LiveClusterError("a live cluster needs at least one node")
+        if self.workload not in ("route", "multicast"):
+            raise LiveClusterError(
+                f"unknown workload {self.workload!r} (route or multicast)")
+        if self.workload_start >= self.duration:
+            raise LiveClusterError(
+                f"duration {self.duration}s leaves no workload window: the "
+                f"join wave plus settle takes {self.workload_start:.1f}s "
+                f"({self.nodes} nodes x {self.join_spacing}s + "
+                f"{self.settle}s); raise --duration or lower --nodes")
+
+    # ------------------------------------------------------------- schedule
+    @property
+    def workload_start(self) -> float:
+        return self.nodes * self.join_spacing + self.settle
+
+    @property
+    def total_runtime(self) -> float:
+        return self.duration + self.drain
+
+    def addresses(self) -> list[int]:
+        return [_FIRST_ADDRESS + index for index in range(self.nodes)]
+
+    def endpoints(self) -> dict[int, tuple[str, int]]:
+        return {_FIRST_ADDRESS + index: (self.host, self.base_port + index)
+                for index in range(self.nodes)}
+
+    def probes_for(self, index: int) -> int:
+        """Round-robin split of the workload packets across nodes."""
+        if self.workload == "multicast":
+            return self.packets if index == 0 else 0
+        base, extra = divmod(self.packets, self.nodes)
+        return base + (1 if index < extra else 0)
+
+    def seqno_base(self, index: int) -> int:
+        """First global sequence number of node *index*'s probes.
+
+        Seqnos are globally unique across the deployment (as in the scenario
+        engine, where one counter spans all probes), so the coordinator can
+        compute distinct-probes-delivered-anywhere without a seqno collision
+        between two senders masking a loss.
+        """
+        return sum(self.probes_for(i) for i in range(index))
+
+
+@dataclass
+class LiveClusterResult:
+    """Aggregate result plus the raw per-process reports."""
+
+    result: ScenarioResult
+    per_node: list[dict] = field(default_factory=list)
+
+    @property
+    def metrics(self) -> dict[str, float]:
+        return self.result.metrics
+
+
+# ------------------------------------------------------------------- worker
+def _apply_protocol_knobs(node, config: LiveClusterConfig) -> None:
+    if config.fix_period is not None:
+        for agent in node.stack:
+            if hasattr(agent, "fix_period"):
+                setattr(agent, "fix_period", config.fix_period)
+
+
+async def _node_main(config: LiveClusterConfig, index: int, barrier) -> dict:
+    """One node process: boot, join, run the workload, report."""
+    # Imports happen here (not at module top) so a "spawn" child pays them
+    # once, inside its own interpreter.
+    from ..codegen.registry import get_registry
+    from ..runtime.node import MacedonNode
+    from ..runtime.messages import WireCodec
+    from ..transport.udp import SocketUdpNetwork
+    from ..apps.payload import AppPayload
+    from .driver import LiveDriver
+
+    address = _FIRST_ADDRESS + index
+    bootstrap = _FIRST_ADDRESS
+    stack = get_registry().load_stack(config.protocol,
+                                     dict(config.base_overrides or {}))
+    codec = WireCodec.for_agents(stack)
+    network = SocketUdpNetwork(address, config.endpoints(), codec)
+    await network.open()
+    try:
+        # Every socket must be bound before any node may send: the barrier
+        # also aligns the zero of every process's driver clock.
+        import asyncio
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(
+                None, lambda: barrier.wait(config.startup_timeout))
+        except Exception as exc:
+            raise LiveClusterError(
+                f"node {address}: cluster start barrier broke "
+                f"(a peer failed to boot?): {exc!r}") from exc
+
+        driver = LiveDriver(seed=config.seed)
+        driver.start(loop)
+        node = MacedonNode(driver, network, stack)
+        _apply_protocol_knobs(node, config)
+
+        # Delivery accounting mirrors the scenario engine's
+        # WorkloadObservations: duplicate (this receiver, seqno) pairs are
+        # counted separately, never scored, and the coordinator unions the
+        # distinct delivered seqnos across nodes for the success ratio.
+        sent = 0
+        duplicates = 0
+        delivered_seqnos: set[int] = set()
+        latencies: list[float] = []
+
+        def on_deliver(payload, size, mtype) -> None:
+            nonlocal duplicates
+            if isinstance(payload, AppPayload) \
+                    and payload.stream_id == LIVE_WORKLOAD_STREAM:
+                if payload.seqno in delivered_seqnos:
+                    duplicates += 1
+                    return
+                delivered_seqnos.add(payload.seqno)
+                latencies.append(time.time() - payload.sent_at)
+
+        node.macedon_register_handlers(deliver=on_deliver)
+
+        # --- join wave (bootstrap at t=0, the rest staggered) -------------
+        join_at = 0.0 if index == 0 else index * config.join_spacing
+        driver.schedule(join_at, node.macedon_init, bootstrap,
+                        label="live-join")
+
+        # --- workload ------------------------------------------------------
+        probes = config.probes_for(index)
+        seqno_base = config.seqno_base(index)
+        rng = driver.fork_rng(f"live-workload:{address}")
+        window = config.duration - config.workload_start
+
+        def send_probe(seqno: int) -> None:
+            nonlocal sent
+            sent += 1
+            payload = AppPayload(seqno=seqno, sent_at=time.time(),
+                                 source=address, size=config.payload_size,
+                                 stream_id=LIVE_WORKLOAD_STREAM)
+            if config.workload == "route":
+                target = rng.randrange(node.highest_agent.key_space.size)
+                node.macedon_route(target, payload, config.payload_size)
+            else:
+                node.macedon_multicast(config.group, payload,
+                                       config.payload_size)
+
+        if config.workload == "multicast":
+            group_setup = max(0.0, config.workload_start - config.settle)
+            if index == 0:
+                driver.schedule(group_setup, node.macedon_create_group,
+                                config.group, label="live-create-group")
+            else:
+                driver.schedule(group_setup + 0.2, node.macedon_join,
+                                config.group, label="live-join-group")
+        if probes:
+            gap = window / (probes + 1)
+            for offset in range(probes):
+                driver.schedule(config.workload_start + (offset + 1) * gap,
+                                send_probe, seqno_base + offset,
+                                label="live-probe")
+
+        await driver.run_for(config.total_runtime)
+
+        # --- report --------------------------------------------------------
+        transport_totals = {"messages_sent": 0, "messages_delivered": 0,
+                            "segments_sent": 0, "segments_received": 0,
+                            "retransmissions": 0, "drops": 0}
+        for stats in node.transport_host.stats().values():
+            for key in transport_totals:
+                transport_totals[key] += getattr(stats, key)
+        report: dict[str, Any] = {
+            "address": address,
+            "state": node.highest_agent.state,
+            "sent": sent,
+            "delivered": len(delivered_seqnos),
+            "delivered_seqnos": sorted(delivered_seqnos),
+            "duplicates": duplicates,
+            "latencies": latencies[:1000],
+            "events_processed": driver.events_processed,
+            "callback_errors": [repr(exc) for exc in driver.errors][:5],
+            "callback_error_count": driver.error_count,
+            "transport": transport_totals,
+            "socket": network.stats(),
+        }
+        highest = node.highest_agent
+        if hasattr(highest, "successor"):
+            report["ring"] = {"my_key": highest.my_key,
+                              "successor": highest.successor}
+        return report
+    finally:
+        network.close()
+
+
+def _worker_entry(config: LiveClusterConfig, index: int, barrier,
+                  results) -> None:
+    import asyncio
+    try:
+        report = asyncio.run(_node_main(config, index, barrier))
+    except BaseException as exc:   # noqa: BLE001 - ship the failure home
+        try:
+            barrier.abort()   # release peers still waiting to start
+        except Exception:
+            pass
+        results.put((index, {"address": _FIRST_ADDRESS + index,
+                             "error": repr(exc),
+                             "traceback": traceback.format_exc()}))
+        return
+    results.put((index, report))
+
+
+# -------------------------------------------------------------- coordinator
+class LiveCluster:
+    """Boot a :class:`LiveClusterConfig` across processes and aggregate."""
+
+    def __init__(self, config: LiveClusterConfig) -> None:
+        self.config = config
+
+    def _context(self):
+        method = self.config.start_method
+        if method is None:
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else "spawn"
+        return multiprocessing.get_context(method)
+
+    def run(self) -> LiveClusterResult:
+        config = self.config
+        # Compile the stack up front: it validates the protocol name before
+        # any process starts, and fork children inherit the warm registry.
+        from ..codegen.registry import get_registry
+        get_registry().load_stack(config.protocol,
+                                  dict(config.base_overrides or {}))
+
+        ctx = self._context()
+        barrier = ctx.Barrier(config.nodes)
+        results_queue = ctx.Queue()
+        processes = [
+            ctx.Process(target=_worker_entry,
+                        args=(config, index, barrier, results_queue),
+                        name=f"live-node-{_FIRST_ADDRESS + index}",
+                        daemon=True)
+            for index in range(config.nodes)
+        ]
+        started = time.time()
+        for process in processes:
+            process.start()
+
+        deadline = (started + config.startup_timeout
+                    + config.total_runtime + 30.0)
+        reports: dict[int, dict] = {}
+        try:
+            while len(reports) < config.nodes:
+                remaining = deadline - time.time()
+                if remaining <= 0:
+                    missing = sorted(set(range(config.nodes)) - set(reports))
+                    raise LiveClusterError(
+                        f"live cluster timed out waiting for node reports "
+                        f"(missing indices: {missing})")
+                try:
+                    index, report = results_queue.get(
+                        timeout=min(remaining, 2.0))
+                except Exception:
+                    # Fail fast on a worker that died without reporting
+                    # (OOM-kill, segfault): its except-clause never ran, so
+                    # nothing will ever arrive for it on the queue.
+                    dead = sorted(
+                        index for index, process in enumerate(processes)
+                        if index not in reports and not process.is_alive())
+                    if dead:
+                        # Drain reports still in flight from workers that
+                        # reported and then exited before declaring anyone
+                        # silently dead.
+                        try:
+                            while True:
+                                index, report = results_queue.get_nowait()
+                                reports[index] = report
+                        except Exception:
+                            pass
+                        dead = [index for index in dead
+                                if index not in reports]
+                    if dead:
+                        codes = {index: processes[index].exitcode
+                                 for index in dead}
+                        raise LiveClusterError(
+                            f"live node process(es) died without reporting "
+                            f"(index: exit code) {codes}") from None
+                    continue
+                reports[index] = report
+        finally:
+            for process in processes:
+                process.join(timeout=10.0)
+            for process in processes:
+                if process.is_alive():   # pragma: no cover - stuck worker
+                    process.terminate()
+                    process.join(timeout=5.0)
+
+        failures = {index: report for index, report in reports.items()
+                    if "error" in report}
+        if failures:
+            detail = "; ".join(
+                f"node {report['address']}: {report['error']}"
+                for _, report in sorted(failures.items()))
+            tb = next(iter(failures.values())).get("traceback", "")
+            raise LiveClusterError(
+                f"{len(failures)}/{config.nodes} live nodes failed — "
+                f"{detail}\nfirst traceback:\n{tb}")
+
+        return self._aggregate([reports[i] for i in range(config.nodes)])
+
+    # ------------------------------------------------------------ aggregation
+    def _aggregate(self, per_node: list[dict]) -> LiveClusterResult:
+        """Score exactly as the scenario engine's WorkloadObservations does:
+        ``deliveries`` counts deduped (receiver, seqno) upcalls, and
+        ``success_ratio`` is distinct probes delivered *anywhere* over probes
+        sent — so a live run and a simulated run of one spec are read off
+        the same ruler."""
+        config = self.config
+        sent = sum(report["sent"] for report in per_node)
+        deliveries = sum(report["delivered"] for report in per_node)
+        delivered_anywhere: set[int] = set()
+        latencies: list[float] = []
+        for report in per_node:
+            delivered_anywhere.update(report["delivered_seqnos"])
+            latencies.extend(report["latencies"])
+        metrics: dict[str, float] = {
+            "workload.sent": float(sent),
+            "workload.deliveries": float(deliveries),
+            "workload.duplicates": float(sum(
+                report["duplicates"] for report in per_node)),
+            "workload.success_ratio":
+                len(delivered_anywhere) / sent if sent else 0.0,
+            "workload.latency_mean": mean(latencies),
+            "workload.latency_p95": percentile(latencies, 0.95),
+            "nodes.count": float(config.nodes),
+            "nodes.joined": float(sum(
+                1 for report in per_node if report["state"] != "init")),
+            "nodes.callback_errors": float(sum(
+                report["callback_error_count"] for report in per_node)),
+            "sim.events_processed": float(sum(
+                report["events_processed"] for report in per_node)),
+            "transport.messages_sent": float(sum(
+                report["transport"]["messages_sent"] for report in per_node)),
+            "transport.retransmissions": float(sum(
+                report["transport"]["retransmissions"] for report in per_node)),
+            "socket.decode_errors": float(sum(
+                report["socket"]["decode_errors"] for report in per_node)),
+        }
+        rings = [report["ring"] for report in per_node if "ring" in report]
+        if len(rings) == len(per_node) and rings:
+            membership = [(ring["my_key"], report["address"])
+                          for ring, report in zip(rings, per_node)]
+            successors = {report["address"]: ring["successor"]
+                          for ring, report in zip(rings, per_node)}
+            metrics["ring.correct_successor_fraction"] = \
+                correct_successor_fraction(membership, successors)
+        result = ScenarioResult(
+            name=f"live-{config.protocol}-{config.workload}",
+            seed=config.seed,
+            duration=config.duration,
+            metrics=metrics,
+            series={},
+            events=[],
+            experiment=None,
+        )
+        return LiveClusterResult(result=result, per_node=per_node)

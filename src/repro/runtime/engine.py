@@ -17,6 +17,15 @@ costs at least one heap entry — so the internals favour flat ``__slots__``
 objects and a hand-written comparison over dataclass conveniences.  See
 docs/PERFORMANCE.md for the measured numbers and the rules the fast paths
 must preserve (deterministic (time, seq) ordering above all).
+
+The scheduling surface (``now`` / ``schedule`` / ``schedule_fast`` /
+``schedule_gen`` / ``cancel_gen`` / ``fork_rng``) doubles as the repository's
+**driver contract** (:mod:`repro.runtime.driver`): the protocol runtime only
+ever uses this surface, so the same agents run against either this simulated
+clock or the wall-clock asyncio driver of :mod:`repro.live` — the paper's
+simulation/live-deployment duality.  ``Simulator`` is registered as a virtual
+subclass of :class:`repro.runtime.driver.Driver`; changing these method
+signatures means changing the contract.
 """
 
 from __future__ import annotations

@@ -25,14 +25,27 @@ on every node — so the classes here are compiled once per type and slotted:
 * :class:`Message` is a ``__slots__`` envelope with a lazy ``msg_id`` (the
   process-wide counter is only consumed if somebody reads it) and a size
   memoised on first read.
+
+The size model is no longer only a model: :class:`WireCodec` (bottom of this
+module) turns it into a real byte-level encoding — struct-packed scalars,
+length-prefixed lists and strings, recursively encoded wrapped messages —
+whose encoded length **equals** the precomputed wire size, so the bytes a
+live datagram carries are exactly the bytes the emulator charges in
+simulation.  The codec is compiled lazily per message type and is used only
+by the live-execution runtime (:mod:`repro.live`); simulated sends never
+serialize.
 """
 
 from __future__ import annotations
 
 import itertools
+import struct
+import zlib
 from typing import Any, Iterator, Mapping, Optional
 
-#: Serialized size, in bytes, of each supported field type.
+#: Serialized size, in bytes, of each supported fixed-width field type.
+#: Strings are variable-width (4-byte length prefix + UTF-8 bytes) and are
+#: sized by the var-field path, never by this table.
 FIELD_TYPE_SIZES: dict[str, int] = {
     "int": 4,
     "long": 8,
@@ -41,7 +54,7 @@ FIELD_TYPE_SIZES: dict[str, int] = {
     "bool": 1,
     "key": 4,
     "ipaddr": 4,
-    "string": 16,
+    "string": 4,   # length prefix; the UTF-8 bytes are charged per value
     "neighbor": 8,
 }
 
@@ -73,13 +86,16 @@ class FieldSpec:
                 f"(known: {sorted(FIELD_TYPE_SIZES)})"
             ) from None
         if self.is_list:
+            if self.type_name == "string":
+                return 4 + sum(4 + len(str(item).encode("utf-8"))
+                               for item in (value or ()))
             try:
                 length = len(value)
             except TypeError:
                 length = 0
             return 4 + base * length
-        if self.type_name == "string" and isinstance(value, str):
-            return max(1, len(value.encode("utf-8")))
+        if self.type_name == "string":
+            return 4 + len(str(value or "").encode("utf-8"))
         return base
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -98,7 +114,7 @@ class MessageType:
     """
 
     __slots__ = ("name", "fields", "transport", "fixed_size",
-                 "_var_specs", "_names")
+                 "_var_specs", "_names", "_wire")
 
     def __init__(self, name: str, fields: tuple = (),
                  transport: Optional[str] = None) -> None:
@@ -115,13 +131,16 @@ class MessageType:
                     f"{spec.type_name!r} (known: {sorted(FIELD_TYPE_SIZES)})"
                 )
             if spec.is_list or spec.type_name == "string":
-                var_specs.append((spec.name, spec.is_list, base))
+                var_specs.append((spec.name, spec.is_list, base,
+                                  spec.type_name == "string"))
             else:
                 fixed += base
         #: Wire size shared by every instance: header plus all scalar fields.
         self.fixed_size = fixed
         self._var_specs = tuple(var_specs)
         self._names = frozenset(spec.name for spec in self.fields)
+        #: Lazily compiled field pack/unpack plan (see :class:`WireCodec`).
+        self._wire: Optional[tuple] = None
 
     def field_names(self) -> list[str]:
         return [spec.name for spec in self.fields]
@@ -138,19 +157,20 @@ class MessageType:
 
     def size_of(self, values: Mapping[str, Any], payload_size: int = 0) -> int:
         total = self.fixed_size + payload_size
-        for name, is_list, base in self._var_specs:
+        for name, is_list, base, is_string in self._var_specs:
             value = values.get(name)
             if is_list:
+                if is_string:
+                    total += 4 + sum(4 + len(str(item).encode("utf-8"))
+                                     for item in (value or ()))
+                    continue
                 try:
                     length = len(value)
                 except TypeError:
                     length = 0
                 total += 4 + base * length
-            elif isinstance(value, str):   # variable-width string scalar
-                encoded = len(value.encode("utf-8"))
-                total += encoded if encoded else 1
-            else:
-                total += base
+            else:   # variable-width string scalar: length prefix + UTF-8
+                total += 4 + len(str(value or "").encode("utf-8"))
         return total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -312,3 +332,479 @@ class MessageCatalog:
 
     def names(self) -> list[str]:
         return sorted(self._types)
+
+
+# ======================================================================== wire
+class WireError(MessageError):
+    """Raised when a value cannot be encoded to (or decoded from) the wire."""
+
+
+#: struct format character per fixed-width field type.  The packed widths are
+#: exactly :data:`FIELD_TYPE_SIZES`, which is what makes encoded length equal
+#: the precomputed size model (asserted at import below).
+_SCALAR_FORMATS: dict[str, str] = {
+    "int": "i",
+    "long": "q",
+    "double": "d",
+    "float": "f",
+    "bool": "?",
+    "key": "I",
+    "ipaddr": "I",
+    "neighbor": "Q",
+}
+
+for _type_name, _fmt in _SCALAR_FORMATS.items():
+    assert struct.calcsize("!" + _fmt) == FIELD_TYPE_SIZES[_type_name], _type_name
+
+#: 32-bit unsigned types are masked (ring keys are already in range; masking
+#: makes encode total); signed types raise WireError on overflow instead.
+_MASKS = {"I": 0xFFFFFFFF, "Q": 0xFFFFFFFFFFFFFFFF}
+
+_SCALAR_DEFAULTS_BY_FMT = {"i": 0, "q": 0, "d": 0.0, "f": 0.0, "?": False,
+                           "I": 0, "Q": 0}
+
+#: Message envelope: version, payload type tag, priority, protocol id,
+#: message-type id, payload size.  Its packed width IS the size model's
+#: MESSAGE_HEADER_BYTES (the "type tag, source, protocol id" overhead).
+_MESSAGE_HEADER = struct.Struct("!BBhIII")
+assert _MESSAGE_HEADER.size == MESSAGE_HEADER_BYTES
+
+#: Wrapped-message envelope: payload type tag, protocol id, message-type id,
+#: payload size (u16 — bounded by the live datagram cap), original source.
+#: 15 bytes <= MESSAGE_HEADER_BYTES, so a wrapped message encodes within the
+#: header budget its size model charges.
+_WRAPPED_HEADER = struct.Struct("!BIIHI")
+assert _WRAPPED_HEADER.size <= MESSAGE_HEADER_BYTES
+
+_U32 = struct.Struct("!I")
+_APP_PAYLOAD = struct.Struct("!qdQqq")   # seqno, sent_at, source, size, stream_id
+
+WIRE_VERSION = 1
+
+#: Largest encodable message (the single-UDP-datagram ceiling of live mode;
+#: the simulator has no such limit, so oversized sends raise loudly here).
+MAX_WIRE_SIZE = 60_000
+
+# Payload type tags (the codec's closed set of payload classes).
+_P_NONE = 0
+_P_MESSAGE = 1
+_P_WRAPPED = 2
+_P_APP = 3
+_P_BYTES = 4
+_P_STR = 5
+_P_INT = 6
+_P_FLOAT = 7
+_P_BOOL = 8
+_P_HEARTBEAT = 9
+
+
+def wire_id(name: str) -> int:
+    """Stable 32-bit identifier of a protocol or message-type name."""
+    return zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF
+
+
+def _checked_slice(data: bytes, offset: int, length: int) -> bytes:
+    """``data[offset:offset+length]``, loud when the buffer is short.
+
+    A corrupt or truncated datagram whose length prefix points past the end
+    must raise (and be counted as line noise by the socket layer), never
+    silently yield a short value into the protocol stack.
+    """
+    end = offset + length
+    if end > len(data):
+        raise WireError(
+            f"truncated wire data: need {length} bytes at offset {offset}, "
+            f"buffer has {len(data)}")
+    return data[offset:end]
+
+
+def _compile_wire_plan(message_type: MessageType) -> tuple:
+    """Compile a message type's fields into a pack/unpack plan.
+
+    Consecutive fixed-width fields collapse into one :class:`struct.Struct`;
+    lists and strings stay as per-value ops.  Ops are ``("scalars", Struct,
+    names, formats)``, ``("list", name, Struct, default)``, ``("slist",
+    name)``, or ``("string", name)``.
+    """
+    ops: list[tuple] = []
+    run_names: list[str] = []
+    run_fmt: list[str] = []
+
+    def flush() -> None:
+        if run_names:
+            ops.append(("scalars", struct.Struct("!" + "".join(run_fmt)),
+                        tuple(run_names), tuple(run_fmt)))
+            run_names.clear()
+            run_fmt.clear()
+
+    for spec in message_type.fields:
+        if spec.is_list:
+            flush()
+            if spec.type_name == "string":
+                ops.append(("slist", spec.name))
+            else:
+                fmt = _SCALAR_FORMATS[spec.type_name]
+                ops.append(("list", spec.name, struct.Struct("!" + fmt),
+                            _SCALAR_DEFAULTS_BY_FMT[fmt]))
+        elif spec.type_name == "string":
+            flush()
+            ops.append(("string", spec.name))
+        else:
+            run_names.append(spec.name)
+            run_fmt.append(_SCALAR_FORMATS[spec.type_name])
+    flush()
+    return tuple(ops)
+
+
+class WireCodec:
+    """Byte-level codec for the message types of one protocol stack.
+
+    Shared verbatim between the two execution modes: in simulation the size
+    model (``MessageType.size_of``) *prices* each message, and in live mode
+    this codec *materialises* it — for every supported payload shape the
+    encoded length equals the priced length, so a live datagram occupies
+    exactly the bytes the emulator would have charged.  Synthetic payload
+    bytes (an ``AppPayload`` declared larger than its struct, or a ``None``
+    payload with a declared size) are zero-padded onto the wire, exactly like
+    the paper's generated traffic.
+
+    The codec is constructed from the agent classes of one stack (every
+    protocol whose messages may appear on the wire, including wrapped inner
+    messages) and is symmetric: both ends of a connection must be built from
+    the same specifications, which the live cluster guarantees by compiling
+    the same registry stack in every process.
+    """
+
+    def __init__(self, catalogs: Mapping[str, MessageCatalog]) -> None:
+        self._protocols: dict[int, tuple[str, dict[int, MessageType]]] = {}
+        self._names: dict[str, int] = {}
+        for protocol, catalog in catalogs.items():
+            proto_id = wire_id(protocol)
+            if proto_id in self._protocols:
+                other = self._protocols[proto_id][0]
+                raise WireError(
+                    f"protocol id collision between {protocol!r} and {other!r}")
+            types: dict[int, MessageType] = {}
+            for message_type in catalog:
+                type_id = wire_id(message_type.name)
+                if type_id in types:
+                    raise WireError(
+                        f"message id collision in protocol {protocol!r}: "
+                        f"{message_type.name!r} vs {types[type_id].name!r}")
+                types[type_id] = message_type
+            self._protocols[proto_id] = (protocol, types)
+            self._names[protocol] = proto_id
+        # Lazily imported payload classes (imports would cycle at module
+        # scope: node/apps import this module).
+        self._app_payload: Optional[type] = None
+        self._heartbeat: Optional[type] = None
+
+    @classmethod
+    def for_agents(cls, agent_classes) -> "WireCodec":
+        """Build a codec covering every protocol of a stack (lowest first)."""
+        catalogs: dict[str, MessageCatalog] = {}
+        for agent_class in agent_classes:
+            catalogs[agent_class.PROTOCOL] = MessageCatalog(
+                list(agent_class.MESSAGE_TYPES))
+        return cls(catalogs)
+
+    def protocols(self) -> list[str]:
+        return sorted(self._names)
+
+    # ---------------------------------------------------------------- lookup
+    def _message_type(self, proto_id: int, type_id: int) -> tuple[str, MessageType]:
+        entry = self._protocols.get(proto_id)
+        if entry is None:
+            raise WireError(
+                f"unknown protocol id {proto_id:#x} on the wire "
+                f"(codec knows: {self.protocols()}); both endpoints must be "
+                f"built from the same specifications")
+        protocol, types = entry
+        message_type = types.get(type_id)
+        if message_type is None:
+            raise WireError(
+                f"unknown message id {type_id:#x} for protocol {protocol!r} "
+                f"(codec knows: {sorted(t.name for t in types.values())})")
+        return protocol, message_type
+
+    def _payload_classes(self) -> tuple[type, type]:
+        if self._app_payload is None:
+            from ..apps.payload import AppPayload
+            from .node import _Heartbeat
+            self._app_payload = AppPayload
+            self._heartbeat = _Heartbeat
+        return self._app_payload, self._heartbeat
+
+    # ---------------------------------------------------------------- fields
+    @staticmethod
+    def _encode_fields(message_type: MessageType, values: Mapping[str, Any],
+                       out: list) -> None:
+        plan = message_type._wire
+        if plan is None:
+            plan = message_type._wire = _compile_wire_plan(message_type)
+        try:
+            for op in plan:
+                kind = op[0]
+                if kind == "scalars":
+                    _, packer, names, formats = op
+                    row = []
+                    for name, fmt in zip(names, formats):
+                        value = values.get(name)
+                        if value is None:
+                            value = _SCALAR_DEFAULTS_BY_FMT[fmt]
+                        mask = _MASKS.get(fmt)
+                        if mask is not None:
+                            value = int(value) & mask
+                        row.append(value)
+                    out.append(packer.pack(*row))
+                elif kind == "list":
+                    _, name, packer, default = op
+                    items = values.get(name) or ()
+                    out.append(_U32.pack(len(items)))
+                    pack = packer.pack
+                    for item in items:
+                        out.append(pack(default if item is None else item))
+                elif kind == "string":
+                    data = str(values.get(op[1]) or "").encode("utf-8")
+                    out.append(_U32.pack(len(data)))
+                    out.append(data)
+                else:   # "slist"
+                    items = values.get(op[1]) or ()
+                    out.append(_U32.pack(len(items)))
+                    for item in items:
+                        data = str(item).encode("utf-8")
+                        out.append(_U32.pack(len(data)))
+                        out.append(data)
+        except (struct.error, TypeError, ValueError) as exc:
+            raise WireError(
+                f"cannot encode message {message_type.name!r} fields "
+                f"{dict(values)!r}: {exc}") from exc
+
+    @staticmethod
+    def _decode_fields(message_type: MessageType, data: bytes,
+                       offset: int) -> tuple[dict[str, Any], int]:
+        plan = message_type._wire
+        if plan is None:
+            plan = message_type._wire = _compile_wire_plan(message_type)
+        fields: dict[str, Any] = {}
+        try:
+            for op in plan:
+                kind = op[0]
+                if kind == "scalars":
+                    _, packer, names, _formats = op
+                    row = packer.unpack_from(data, offset)
+                    offset += packer.size
+                    for name, value in zip(names, row):
+                        fields[name] = value
+                elif kind == "list":
+                    _, name, packer, _default = op
+                    (count,) = _U32.unpack_from(data, offset)
+                    offset += 4
+                    items = []
+                    unpack = packer.unpack_from
+                    width = packer.size
+                    for _ in range(count):
+                        items.append(unpack(data, offset)[0])
+                        offset += width
+                    fields[name] = items
+                elif kind == "string":
+                    (length,) = _U32.unpack_from(data, offset)
+                    offset += 4
+                    fields[op[1]] = _checked_slice(data, offset,
+                                                   length).decode("utf-8")
+                    offset += length
+                else:   # "slist"
+                    (count,) = _U32.unpack_from(data, offset)
+                    offset += 4
+                    items = []
+                    for _ in range(count):
+                        (length,) = _U32.unpack_from(data, offset)
+                        offset += 4
+                        items.append(_checked_slice(data, offset,
+                                                    length).decode("utf-8"))
+                        offset += length
+                    fields[op[1]] = items
+        except struct.error as exc:
+            raise WireError(
+                f"truncated wire data for message {message_type.name!r}: {exc}"
+            ) from exc
+        return fields, offset
+
+    # -------------------------------------------------------------- messages
+    def encode_message(self, message: Message) -> bytes:
+        """Encode a protocol message; ``len(result) == message.size`` for
+        every supported payload that fits its declared ``payload_size``."""
+        proto_id = self._names.get(message.protocol)
+        if proto_id is None:
+            raise WireError(
+                f"message {message.name!r} belongs to protocol "
+                f"{message.protocol!r}, which this codec was not built for "
+                f"(knows: {self.protocols()})")
+        ptype, content = self._encode_payload_content(message.payload)
+        payload_size = int(message.payload_size)
+        out: list = [_MESSAGE_HEADER.pack(
+            WIRE_VERSION, ptype, message.priority, proto_id,
+            wire_id(message.type.name), payload_size)]
+        self._encode_fields(message.type, message.fields, out)
+        out.append(content)
+        if len(content) < payload_size:
+            out.append(b"\x00" * (payload_size - len(content)))
+        encoded = b"".join(out)
+        if len(encoded) > MAX_WIRE_SIZE:
+            raise WireError(
+                f"message {message.name!r} encodes to {len(encoded)} bytes, "
+                f"over the {MAX_WIRE_SIZE}-byte live datagram ceiling "
+                f"(simulate larger messages, or shrink the payload)")
+        return encoded
+
+    def decode_message(self, data: bytes, offset: int = 0) -> tuple[Message, int]:
+        """Decode one message; returns ``(message, end_offset)``."""
+        try:
+            version, ptype, priority, proto_id, type_id, payload_size = \
+                _MESSAGE_HEADER.unpack_from(data, offset)
+        except struct.error as exc:
+            raise WireError(f"truncated message header: {exc}") from exc
+        if version != WIRE_VERSION:
+            raise WireError(f"wire version {version} != {WIRE_VERSION}")
+        protocol, message_type = self._message_type(proto_id, type_id)
+        fields, offset = self._decode_fields(message_type, data,
+                                             offset + _MESSAGE_HEADER.size)
+        payload, consumed = self._decode_payload_content(ptype, data, offset)
+        offset += max(consumed, payload_size)   # skip synthetic padding
+        message = Message(type=message_type, fields=fields, payload=payload,
+                          payload_size=payload_size, priority=priority,
+                          protocol=protocol)
+        return message, offset
+
+    def _encode_wrapped(self, wrapped: WrappedMessage) -> bytes:
+        proto_id = self._names.get(wrapped.protocol)
+        if proto_id is None:
+            raise WireError(
+                f"wrapped message {wrapped.name!r} belongs to protocol "
+                f"{wrapped.protocol!r}, which this codec was not built for "
+                f"(knows: {self.protocols()})")
+        _, message_type = self._message_type(proto_id, wire_id(wrapped.name))
+        payload_size = int(wrapped.payload_size)
+        if payload_size > 0xFFFF:
+            raise WireError(
+                f"wrapped message {wrapped.name!r} declares a "
+                f"{payload_size}-byte payload; live mode caps wrapped "
+                f"payloads at 65535 bytes")
+        ptype, content = self._encode_payload_content(wrapped.payload)
+        out: list = [_WRAPPED_HEADER.pack(
+            ptype, proto_id, wire_id(wrapped.name), payload_size,
+            (wrapped.source or 0) & 0xFFFFFFFF)]
+        self._encode_fields(message_type, wrapped.fields, out)
+        out.append(content)
+        if len(content) < payload_size:
+            out.append(b"\x00" * (payload_size - len(content)))
+        return b"".join(out)
+
+    def _decode_wrapped(self, data: bytes,
+                        offset: int) -> tuple[WrappedMessage, int]:
+        try:
+            ptype, proto_id, type_id, payload_size, source = \
+                _WRAPPED_HEADER.unpack_from(data, offset)
+        except struct.error as exc:
+            raise WireError(f"truncated wrapped-message header: {exc}") from exc
+        protocol, message_type = self._message_type(proto_id, type_id)
+        fields, offset = self._decode_fields(message_type, data,
+                                             offset + _WRAPPED_HEADER.size)
+        payload, consumed = self._decode_payload_content(ptype, data, offset)
+        offset += max(consumed, payload_size)
+        source = source or None
+        from .keys import hash_key
+        wrapped = WrappedMessage(
+            protocol=protocol, name=message_type.name, fields=fields,
+            payload=payload, payload_size=payload_size, source=source,
+            source_key=hash_key(source) if source is not None else None,
+            size=message_type.size_of(fields, payload_size))
+        return wrapped, offset
+
+    # -------------------------------------------------------------- payloads
+    def _encode_payload_content(self, payload: Any) -> tuple[int, bytes]:
+        if payload is None:
+            return _P_NONE, b""
+        if isinstance(payload, Message):
+            return _P_MESSAGE, self.encode_message(payload)
+        if isinstance(payload, WrappedMessage):
+            return _P_WRAPPED, self._encode_wrapped(payload)
+        if isinstance(payload, (bytes, bytearray, memoryview)):
+            data = bytes(payload)
+            return _P_BYTES, _U32.pack(len(data)) + data
+        if isinstance(payload, str):
+            data = payload.encode("utf-8")
+            return _P_STR, _U32.pack(len(data)) + data
+        if isinstance(payload, bool):
+            return _P_BOOL, struct.pack("!?", payload)
+        if isinstance(payload, int):
+            return _P_INT, struct.pack("!q", payload)
+        if isinstance(payload, float):
+            return _P_FLOAT, struct.pack("!d", payload)
+        app_payload, heartbeat = self._payload_classes()
+        if isinstance(payload, app_payload):
+            return _P_APP, _APP_PAYLOAD.pack(
+                payload.seqno, payload.sent_at, payload.source & 0xFFFFFFFFFFFFFFFF,
+                payload.size, payload.stream_id)
+        if isinstance(payload, heartbeat):
+            return _P_HEARTBEAT, struct.pack(
+                "!?", payload.kind == "pong")
+        raise WireError(
+            f"cannot encode payload of type {type(payload).__name__}; the "
+            f"live wire supports None, bytes, str, int, float, bool, "
+            f"AppPayload, Message, and WrappedMessage payloads")
+
+    def _decode_payload_content(self, ptype: int, data: bytes,
+                                offset: int) -> tuple[Any, int]:
+        """Decode one payload; returns ``(payload, bytes_consumed)``."""
+        start = offset
+        if ptype == _P_NONE:
+            return None, 0
+        if ptype == _P_MESSAGE:
+            message, end = self.decode_message(data, offset)
+            return message, end - start
+        if ptype == _P_WRAPPED:
+            wrapped, end = self._decode_wrapped(data, offset)
+            return wrapped, end - start
+        try:
+            if ptype == _P_BYTES:
+                (length,) = _U32.unpack_from(data, offset)
+                return bytes(_checked_slice(data, offset + 4, length)), 4 + length
+            if ptype == _P_STR:
+                (length,) = _U32.unpack_from(data, offset)
+                return (_checked_slice(data, offset + 4,
+                                       length).decode("utf-8"),
+                        4 + length)
+            if ptype == _P_BOOL:
+                return struct.unpack_from("!?", data, offset)[0], 1
+            if ptype == _P_INT:
+                return struct.unpack_from("!q", data, offset)[0], 8
+            if ptype == _P_FLOAT:
+                return struct.unpack_from("!d", data, offset)[0], 8
+            if ptype == _P_APP:
+                seqno, sent_at, source, size, stream_id = \
+                    _APP_PAYLOAD.unpack_from(data, offset)
+                app_payload, _ = self._payload_classes()
+                return (app_payload(seqno=seqno, sent_at=sent_at, source=source,
+                                    size=size, stream_id=stream_id),
+                        _APP_PAYLOAD.size)
+            if ptype == _P_HEARTBEAT:
+                (is_pong,) = struct.unpack_from("!?", data, offset)
+                _, heartbeat = self._payload_classes()
+                return heartbeat(kind="pong" if is_pong else "ping"), 1
+        except struct.error as exc:
+            raise WireError(f"truncated payload (type {ptype}): {exc}") from exc
+        raise WireError(f"unknown payload type tag {ptype} on the wire")
+
+    def encode_payload(self, payload: Any) -> bytes:
+        """Standalone payload block: a type tag byte plus the content."""
+        ptype, content = self._encode_payload_content(payload)
+        return bytes([ptype]) + content
+
+    def decode_payload(self, data: bytes, offset: int = 0) -> tuple[Any, int]:
+        """Inverse of :meth:`encode_payload`; returns ``(payload, end_offset)``."""
+        if offset >= len(data):
+            raise WireError("truncated payload block: missing type tag")
+        payload, consumed = self._decode_payload_content(data[offset], data,
+                                                         offset + 1)
+        return payload, offset + 1 + consumed

@@ -11,6 +11,17 @@ One :class:`MacedonNode` couples, for one emulated host:
 
 It also implements the runtime side of the MACEDON API: ``macedon_init`` and
 the data/control calls are forwarded to the highest agent in the stack.
+
+The node is clock- and wire-agnostic: ``simulator`` may be any
+:class:`~repro.runtime.driver.Driver` (the discrete-event
+:class:`~repro.runtime.engine.Simulator` or the wall-clock
+:class:`~repro.live.driver.LiveDriver`), and ``emulator`` anything providing
+the network surface the node and its transports use (``attach_host`` /
+``set_receive_callback`` / ``send`` / ``detach_host`` / ``reattach_host``) —
+the in-process :class:`~repro.network.emulator.NetworkEmulator` or the
+socket-backed :class:`~repro.transport.udp.SocketUdpNetwork`.  The same
+protocol stack therefore runs in simulation and in live deployment, which is
+the paper's central claim.
 """
 
 from __future__ import annotations
@@ -43,8 +54,8 @@ class MacedonNode:
 
     def __init__(
         self,
-        simulator: Simulator,
-        emulator: NetworkEmulator,
+        simulator: "Simulator",   # any Driver (sim or live); see module docstring
+        emulator: "NetworkEmulator",   # any network backend (emulator or sockets)
         agent_classes: Sequence[Type[Agent]],
         *,
         tracer: Optional[Tracer] = None,

@@ -12,13 +12,27 @@ three-slot :class:`Datagram` envelope goes straight into a
 construction, the ``_send_packet`` indirection, and (on the receive side) the
 reliable demux machinery.  Only oversized messages fall back to segments and
 fragmentation.
+
+This module also holds the *socket-backed counterpart* of the network
+emulator, :class:`SocketUdpNetwork`: it frames the very same
+``Datagram``/``Segment`` envelopes (and their :class:`WireCodec`-encoded
+payloads) over a real UDP socket between OS processes, presenting the
+emulator's ``send``/``set_receive_callback``/``attach_host`` surface so
+:class:`~repro.transport.demux.TransportHost` and every transport class —
+best-effort demux, reliable windows, epochs, reassembly — run unchanged in
+live mode.  See docs/LIVE.md.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional
+import asyncio
+import logging
+import struct
+from typing import Any, Mapping, Optional
 
+from ..network.addressing import HostAddress
 from ..network.packet import Packet
+from ..runtime.messages import WireCodec, WireError
 from .base import Datagram, Segment, Transport, TransportKind
 
 
@@ -87,3 +101,226 @@ class UdpTransport(Transport):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._reassembly: dict[tuple[int, int], dict] = {}
+
+
+# ================================================================ live sockets
+logger = logging.getLogger(__name__)
+
+
+class SocketUdpNetwork(asyncio.DatagramProtocol):
+    """The network emulator's socket-backed counterpart for one live node.
+
+    One instance owns one bound UDP socket and knows the ``(ip, port)``
+    endpoint of every overlay address in the deployment (a static map the
+    live cluster computes up front — the DNS of the harness).  It presents
+    exactly the surface the transport subsystem and
+    :class:`~repro.runtime.node.MacedonNode` use from
+    :class:`~repro.network.emulator.NetworkEmulator`:
+
+    * ``send(packet, payload_tag=None) -> bool`` — frames the packet's
+      ``Datagram`` or ``Segment`` envelope plus its codec-encoded payload
+      into one UDP datagram and transmits it;
+    * ``set_receive_callback(address, cb)`` — registers the demux upcall;
+    * ``attach_host`` / ``detach_host`` / ``reattach_host`` — address
+      binding and the crash/recover mute switch.
+
+    Because the same envelopes cross the wire, the *entire* transport stack —
+    best-effort fast path, reliable AIMD/SWP windows, restart epochs with
+    challenge ACKs, fragmentation/reassembly — behaves identically in both
+    modes; only the bytes become real.  ``payload_tag`` (link-stress
+    accounting, a global-knowledge metric) is accepted and ignored: there is
+    no omniscient observer on a real network.
+    """
+
+    MAGIC = 0xCD
+    _HEADER = struct.Struct("!BBI")          # magic, frame kind, src address
+    _FRAME_DATAGRAM = 1
+    _FRAME_SEGMENT = 2
+    _FRAME_RAW = 3
+    #: kind flag, seq, ack, msg_id, chunk, chunks, epoch, dest_epoch, size —
+    #: the full Segment envelope (its ~45 bytes of framing play the role of
+    #: the emulator's fixed HEADER_BYTES overhead).
+    _SEGMENT = struct.Struct("!BqqQIIIII")
+
+    def __init__(self, local_address: int,
+                 endpoints: Mapping[int, tuple[str, int]],
+                 codec: WireCodec) -> None:
+        if local_address not in endpoints:
+            raise WireError(
+                f"local address {local_address} missing from the endpoint map")
+        self.local_address = local_address
+        self.endpoints = dict(endpoints)
+        self.codec = codec
+        self._receive = None
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        #: False while "crashed": sends dropped, arrivals ignored.
+        self.attached = True
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.send_drops = 0
+        self.decode_errors = 0
+
+    # ------------------------------------------------------------- lifecycle
+    async def open(self) -> None:
+        """Bind the local endpoint on the running event loop."""
+        loop = asyncio.get_running_loop()
+        host, port = self.endpoints[self.local_address]
+        await loop.create_datagram_endpoint(lambda: self,
+                                            local_addr=(host, port))
+
+    def close(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    def connection_made(self, transport) -> None:   # DatagramProtocol hook
+        self._transport = transport
+
+    def connection_lost(self, exc) -> None:         # DatagramProtocol hook
+        self._transport = None
+        if exc is not None:   # pragma: no cover - platform-dependent
+            logger.warning("live socket closed with error: %s", exc)
+
+    def error_received(self, exc) -> None:          # pragma: no cover
+        logger.warning("live socket error: %s", exc)
+
+    # ------------------------------------------------- emulator-like surface
+    def attach_host(self, topology_node: Optional[int] = None,
+                    receive=None) -> HostAddress:
+        """The node's attach call; a live node *is* its one host."""
+        del topology_node   # There is no emulated topology to attach to.
+        if receive is not None:
+            self._receive = receive
+        return HostAddress(address=self.local_address, topology_node=0)
+
+    def set_receive_callback(self, address: int, receive) -> None:
+        if address != self.local_address:
+            raise WireError(
+                f"cannot register a receive callback for {address} on the "
+                f"socket bound to {self.local_address}")
+        self._receive = receive
+
+    def detach_host(self, address: int) -> None:
+        if address == self.local_address:
+            self.attached = False
+
+    def reattach_host(self, address: int) -> None:
+        if address == self.local_address:
+            self.attached = True
+
+    # ------------------------------------------------------------------ send
+    def send(self, packet: Packet, payload_tag: Optional[str] = None) -> bool:
+        del payload_tag   # Link-stress accounting is a simulation-only metric.
+        if not self.attached or self._transport is None:
+            self.send_drops += 1
+            return False
+        endpoint = self.endpoints.get(packet.dst)
+        if endpoint is None:
+            # Same behaviour as the emulator's detached-host rule: traffic to
+            # an unknown/absent destination silently vanishes.
+            self.send_drops += 1
+            return False
+        payload = packet.payload
+        codec = self.codec
+        if type(payload) is Datagram:
+            frame = b"".join((
+                self._HEADER.pack(self.MAGIC, self._FRAME_DATAGRAM,
+                                  self.local_address),
+                bytes([len(payload.transport)]),
+                payload.transport.encode("ascii"),
+                struct.pack("!I", payload.size),
+                codec.encode_payload(payload.payload),
+            ))
+        elif isinstance(payload, Segment):
+            frame = b"".join((
+                self._HEADER.pack(self.MAGIC, self._FRAME_SEGMENT,
+                                  self.local_address),
+                bytes([len(payload.transport)]),
+                payload.transport.encode("ascii"),
+                self._SEGMENT.pack(
+                    1 if payload.kind == "ACK" else 0, payload.seq,
+                    payload.ack, payload.msg_id, payload.chunk,
+                    payload.chunks, payload.epoch, payload.dest_epoch,
+                    payload.size),
+                codec.encode_payload(payload.payload),
+            ))
+        else:
+            frame = (self._HEADER.pack(self.MAGIC, self._FRAME_RAW,
+                                       self.local_address)
+                     + codec.encode_payload(payload))
+        try:
+            self._transport.sendto(frame, endpoint)
+        except OSError as exc:   # pragma: no cover - oversized datagram, etc.
+            logger.warning("live send to %s failed: %s", endpoint, exc)
+            self.send_drops += 1
+            return False
+        self.frames_sent += 1
+        self.bytes_sent += len(frame)
+        return True
+
+    # --------------------------------------------------------------- receive
+    def datagram_received(self, data: bytes, addr) -> None:
+        if not self.attached or self._receive is None:
+            return
+        self.frames_received += 1
+        self.bytes_received += len(data)
+        try:
+            magic, frame_kind, src = self._HEADER.unpack_from(data, 0)
+            if magic != self.MAGIC:
+                raise WireError(f"bad frame magic {magic:#x}")
+            offset = self._HEADER.size
+            if frame_kind == self._FRAME_RAW:
+                payload, _ = self.codec.decode_payload(data, offset)
+                size = 0
+            else:
+                name_len = data[offset]
+                offset += 1
+                transport_name = data[offset:offset + name_len].decode("ascii")
+                offset += name_len
+                if frame_kind == self._FRAME_DATAGRAM:
+                    (size,) = struct.unpack_from("!I", data, offset)
+                    inner, _ = self.codec.decode_payload(data, offset + 4)
+                    payload = Datagram(transport_name, inner, size)
+                elif frame_kind == self._FRAME_SEGMENT:
+                    (kind_flag, seq, ack, msg_id, chunk, chunks, epoch,
+                     dest_epoch, size) = self._SEGMENT.unpack_from(data, offset)
+                    inner, _ = self.codec.decode_payload(
+                        data, offset + self._SEGMENT.size)
+                    payload = Segment(
+                        transport=transport_name,
+                        kind="ACK" if kind_flag else "DATA", seq=seq,
+                        payload=inner, size=size, ack=ack, msg_id=msg_id,
+                        chunk=chunk, chunks=chunks, epoch=epoch,
+                        dest_epoch=dest_epoch)
+                else:
+                    raise WireError(f"unknown frame kind {frame_kind}")
+        except (WireError, struct.error, IndexError, UnicodeDecodeError) as exc:
+            # A malformed datagram (version skew, stray traffic on the port)
+            # must not kill a live node: count it and drop, like line noise.
+            self.decode_errors += 1
+            logger.warning("dropping undecodable datagram from %s: %s",
+                           addr, exc)
+            return
+        packet = Packet(src=src, dst=self.local_address, payload=payload,
+                        size=size, protocol="live")
+        try:
+            self._receive(packet)
+        except Exception:   # noqa: BLE001 - one bad packet must not stop the node
+            logger.exception("live receive callback failed for %r", packet)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "send_drops": self.send_drops,
+            "decode_errors": self.decode_errors,
+        }
+
+    def __repr__(self) -> str:   # pragma: no cover - debugging aid
+        endpoint = self.endpoints.get(self.local_address)
+        return (f"SocketUdpNetwork(addr={self.local_address}, "
+                f"endpoint={endpoint}, peers={len(self.endpoints) - 1})")

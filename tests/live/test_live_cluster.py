@@ -1,0 +1,58 @@
+"""End-to-end live deployment: real processes, real sockets, same spec.
+
+The in-test cluster is kept small (4 nodes, a few seconds) so the tier-1
+suite stays fast; the CI live-smoke job and scripts/run_live.py exercise the
+8- and 32-node shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.live import LiveCluster, LiveClusterConfig, LiveClusterError
+
+pytestmark = pytest.mark.live
+
+
+def test_config_validation():
+    with pytest.raises(LiveClusterError, match="at least one node"):
+        LiveClusterConfig(nodes=0)
+    with pytest.raises(LiveClusterError, match="unknown workload"):
+        LiveClusterConfig(workload="teleport")
+    with pytest.raises(LiveClusterError, match="no workload window"):
+        LiveClusterConfig(nodes=16, duration=2.0, join_spacing=0.5)
+    config = LiveClusterConfig(nodes=3, duration=5.0, packets=8)
+    assert config.workload_start == pytest.approx(3 * 0.15 + 1.0)
+    assert [config.probes_for(i) for i in range(3)] == [3, 3, 2]
+    assert sorted(config.endpoints()) == [1, 2, 3]
+
+
+def test_unknown_protocol_fails_before_spawning_processes():
+    with pytest.raises(Exception, match="chrod|no specification"):
+        LiveCluster(LiveClusterConfig(nodes=2, duration=5.0,
+                                      protocol="chrod")).run()
+
+
+def test_four_node_chord_cluster_routes_over_real_sockets():
+    config = LiveClusterConfig(nodes=4, duration=4.0, join_spacing=0.1,
+                               settle=0.8, packets=16, seed=5,
+                               base_port=49140)
+    outcome = LiveCluster(config).run()
+    metrics = outcome.metrics
+
+    assert metrics["nodes.joined"] == 4.0
+    assert metrics["workload.sent"] == 16.0
+    # Localhost, converged ring: the workload must essentially all route.
+    assert metrics["workload.success_ratio"] >= 0.9
+    assert metrics["ring.correct_successor_fraction"] == 1.0
+    assert metrics["nodes.callback_errors"] == 0.0
+    assert metrics["socket.decode_errors"] == 0.0
+    # Real bytes moved between processes.
+    assert metrics["transport.messages_sent"] > 0
+    assert len(outcome.per_node) == 4
+    for report in outcome.per_node:
+        assert report["state"] == "joined"
+        assert report["socket"]["bytes_sent"] > 0
+    # Deliveries carried wall-clock latencies.
+    assert metrics["workload.latency_mean"] > 0.0
+    assert metrics["workload.latency_p95"] >= metrics["workload.latency_mean"] * 0.1

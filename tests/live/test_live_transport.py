@@ -1,0 +1,190 @@
+"""SocketUdpNetwork: the emulator surface over real loopback sockets."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.protocols import chord_agent
+from repro.runtime.messages import Message, WireCodec, WireError
+from repro.transport.base import Datagram, Segment
+from repro.transport.udp import SocketUdpNetwork
+
+pytestmark = pytest.mark.live
+
+
+def _free_ports(count: int) -> list[int]:
+    """Ports the OS confirms are currently free (bound-and-released)."""
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            sock.bind(("127.0.0.1", 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+@pytest.fixture()
+def codec():
+    return WireCodec.for_agents([chord_agent()])
+
+
+def _pair(codec):
+    ports = _free_ports(2)
+    endpoints = {1: ("127.0.0.1", ports[0]), 2: ("127.0.0.1", ports[1])}
+    return (SocketUdpNetwork(1, endpoints, codec),
+            SocketUdpNetwork(2, endpoints, codec))
+
+
+def _chord_message(fields=None, **kwargs) -> Message:
+    chord_types = {t.name: t for t in chord_agent().MESSAGE_TYPES}
+    return Message(type=chord_types["lookup"],
+                   fields=fields or {"target": 99, "origin": 1, "purpose": 0,
+                                     "idx": 4, "hops": 32},
+                   protocol="chord", **kwargs)
+
+
+async def _exchange(codec, packets, mutate=None):
+    """Open a pair, deliver *packets* from node 1 to node 2, return arrivals."""
+    left, right = _pair(codec)
+    received = []
+    right.set_receive_callback(2, received.append)
+    await left.open()
+    await right.open()
+    if mutate is not None:
+        mutate(left, right)
+    try:
+        from repro.network.packet import Packet
+        for payload, size in packets:
+            assert left.send(Packet(src=1, dst=2, payload=payload,
+                                    size=size)) or mutate is not None
+        for _ in range(50):
+            if len(received) >= len(packets):
+                break
+            await asyncio.sleep(0.01)
+        return left, right, received
+    finally:
+        left.close()
+        right.close()
+
+
+def test_datagram_frame_round_trips(codec):
+    message = _chord_message()
+    datagram = Datagram("CTRL", message, message.size)
+
+    left, right, received = asyncio.run(
+        _exchange(codec, [(datagram, message.size)]))
+    assert len(received) == 1
+    packet = received[0]
+    assert packet.src == 1 and packet.dst == 2
+    arrived = packet.payload
+    assert type(arrived) is Datagram
+    assert arrived.transport == "CTRL"
+    assert arrived.size == message.size
+    assert arrived.payload.fields == message.fields
+    assert left.stats()["frames_sent"] == 1
+    assert right.stats()["frames_received"] == 1
+
+
+def test_segment_frame_preserves_reliable_envelope(codec):
+    message = _chord_message()
+    segment = Segment(transport="CTRL", kind="DATA", seq=17, payload=message,
+                      size=message.size, ack=-1, msg_id=5, chunk=1, chunks=3,
+                      epoch=2, dest_epoch=1)
+    ack = Segment(transport="CTRL", kind="ACK", seq=0, ack=18, epoch=2)
+
+    _, _, received = asyncio.run(
+        _exchange(codec, [(segment, message.size), (ack, 0)]))
+    assert len(received) == 2
+    data_seg = received[0].payload
+    assert isinstance(data_seg, Segment)
+    assert (data_seg.kind, data_seg.seq, data_seg.ack) == ("DATA", 17, -1)
+    assert (data_seg.msg_id, data_seg.chunk, data_seg.chunks) == (5, 1, 3)
+    assert (data_seg.epoch, data_seg.dest_epoch) == (2, 1)
+    assert data_seg.payload.fields == message.fields
+    ack_seg = received[1].payload
+    assert (ack_seg.kind, ack_seg.ack, ack_seg.epoch) == ("ACK", 18, 2)
+
+
+def test_unknown_destination_and_detached_host_drop(codec):
+    async def scenario():
+        left, right = _pair(codec)
+        arrivals = []
+        right.set_receive_callback(2, arrivals.append)
+        await left.open()
+        await right.open()
+        try:
+            from repro.network.packet import Packet
+            datagram = Datagram("CTRL", None, 8)
+            # Unknown destination: dropped, counted, no exception.
+            assert left.send(Packet(src=1, dst=99, payload=datagram,
+                                    size=8)) is False
+            # Crashed ("detached") sender: outgoing traffic vanishes.
+            left.detach_host(1)
+            assert left.send(Packet(src=1, dst=2, payload=datagram,
+                                    size=8)) is False
+            left.reattach_host(1)
+            assert left.send(Packet(src=1, dst=2, payload=datagram,
+                                    size=8)) is True
+            for _ in range(100):
+                if arrivals:
+                    break
+                await asyncio.sleep(0.01)
+            # Crashed receiver: arrivals fall on dead silicon.
+            right.detach_host(2)
+            left.send(Packet(src=1, dst=2, payload=datagram, size=8))
+            await asyncio.sleep(0.05)
+            return left, arrivals
+        finally:
+            left.close()
+            right.close()
+
+    left, arrivals = asyncio.run(scenario())
+    assert left.send_drops == 2
+    assert len(arrivals) == 1
+
+
+def test_line_noise_is_counted_and_dropped(codec):
+    """Garbage datagrams (port scans, version skew) must not kill the node."""
+    async def scenario():
+        left, right = _pair(codec)
+        arrivals = []
+        right.set_receive_callback(2, arrivals.append)
+        await left.open()
+        await right.open()
+        try:
+            host, port = right.endpoints[2]
+            noise = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            noise.sendto(b"definitely not a frame", (host, port))
+            noise.sendto(b"\xcd\x02\x00\x00\x00\x01truncated", (host, port))
+            noise.close()
+            from repro.network.packet import Packet
+            message = _chord_message()
+            left.send(Packet(src=1, dst=2,
+                             payload=Datagram("CTRL", message, message.size),
+                             size=message.size))
+            for _ in range(50):
+                if arrivals:
+                    break
+                await asyncio.sleep(0.01)
+            return right, arrivals
+        finally:
+            left.close()
+            right.close()
+
+    right, arrivals = asyncio.run(scenario())
+    assert right.decode_errors == 2
+    assert len(arrivals) == 1   # the real frame still got through
+
+
+def test_local_address_must_be_in_endpoint_map(codec):
+    with pytest.raises(WireError, match="missing from the endpoint map"):
+        SocketUdpNetwork(5, {1: ("127.0.0.1", 9)}, codec)
+    network = SocketUdpNetwork(1, {1: ("127.0.0.1", 9)}, codec)
+    with pytest.raises(WireError, match="cannot register"):
+        network.set_receive_callback(2, lambda packet: None)

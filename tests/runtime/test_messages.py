@@ -114,9 +114,13 @@ def test_fixed_size_precomputed_and_var_fields_counted_per_send(join_reply):
         join_reply.fixed_size + 4 + 2 * 4
 
 
-def test_empty_string_field_still_costs_a_byte():
+def test_string_fields_charge_their_length_prefix():
+    # Strings are length-prefixed on the wire (4-byte count + UTF-8 bytes) so
+    # the size model and the WireCodec encoding agree byte-for-byte; an empty
+    # or unset string is just the prefix.
     note = MessageType("note", (FieldSpec("text", "string"),))
     assert Message(type=note, fields={"text": ""}).size == \
-        MESSAGE_HEADER_BYTES + 1
-    # An unset string field is charged the declared base width.
-    assert Message(type=note).size == MESSAGE_HEADER_BYTES + 16
+        MESSAGE_HEADER_BYTES + 4
+    assert Message(type=note).size == MESSAGE_HEADER_BYTES + 4
+    assert Message(type=note, fields={"text": "abcde"}).size == \
+        MESSAGE_HEADER_BYTES + 4 + 5

@@ -1,0 +1,317 @@
+"""Wire-codec property tests: the size model made real.
+
+Every bundled specification's message types must round-trip through
+:class:`repro.runtime.messages.WireCodec` — including empty lists, max-width
+scalars, and nested wrapped messages — and the encoded byte length must equal
+the spec-compile-time wire-size model (``MessageType.size_of``), which is
+what lets live datagrams occupy exactly the bytes the emulator charges in
+simulation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.payload import AppPayload
+from repro.codegen.registry import get_registry
+from repro.protocols import BUNDLED_PROTOCOLS
+from repro.runtime.messages import (FIELD_TYPE_SIZES, MESSAGE_HEADER_BYTES,
+                                    FieldSpec, Message, MessageCatalog,
+                                    MessageType, WireCodec, WireError,
+                                    WrappedMessage, wire_id)
+
+#: Value generators per field type; each returns (edge values, random value).
+_EDGE_VALUES = {
+    "int": [0, 1, -1, 2**31 - 1, -(2**31)],
+    "long": [0, 1, -1, 2**63 - 1, -(2**63)],
+    "double": [0.0, -1.5, 1e300, -1e-300],
+    "float": [0.0, 1.5, -2.0],
+    "bool": [True, False],
+    "key": [0, 1, 2**32 - 1],
+    "ipaddr": [0, 1, 2**32 - 1],
+    "neighbor": [0, 1, 2**64 - 1],
+    "string": ["", "x", "hé€llo", "a" * 200],
+}
+
+
+def _random_value(type_name: str, rng: random.Random):
+    if type_name in ("int",):
+        return rng.randint(-(2**31), 2**31 - 1)
+    if type_name == "long":
+        return rng.randint(-(2**63), 2**63 - 1)
+    if type_name in ("double", "float"):
+        return rng.choice([0.0, 0.5, -123.25, 4096.0])
+    if type_name == "bool":
+        return rng.random() < 0.5
+    if type_name in ("key", "ipaddr"):
+        return rng.randrange(2**32)
+    if type_name == "neighbor":
+        return rng.randrange(2**64)
+    if type_name == "string":
+        return "".join(rng.choice("abcdefghij") for _ in range(rng.randrange(8)))
+    raise AssertionError(type_name)
+
+
+def _fill_fields(message_type: MessageType, rng: random.Random,
+                 lists_empty: bool = False) -> dict:
+    fields = {}
+    for spec in message_type.fields:
+        if spec.is_list:
+            if lists_empty:
+                fields[spec.name] = []
+            else:
+                fields[spec.name] = [_random_value(spec.type_name, rng)
+                                     for _ in range(rng.randrange(1, 6))]
+        else:
+            fields[spec.name] = _random_value(spec.type_name, rng)
+    return fields
+
+
+def _stack_and_codec(protocol: str):
+    stack = get_registry().load_stack(protocol)
+    return stack, WireCodec.for_agents(stack)
+
+
+@pytest.mark.parametrize("protocol", BUNDLED_PROTOCOLS)
+def test_every_spec_message_round_trips_at_model_size(protocol):
+    """Seeded property sweep: random field values for every message type."""
+    stack, codec = _stack_and_codec(protocol)
+    rng = random.Random(f"wire:{protocol}")
+    for agent_class in stack:
+        for message_type in agent_class.MESSAGE_TYPES:
+            for trial in range(8):
+                fields = _fill_fields(message_type, rng,
+                                      lists_empty=(trial == 0))
+                message = Message(type=message_type, fields=fields,
+                                  priority=rng.choice([-1, 0, 1, 2]),
+                                  protocol=agent_class.PROTOCOL)
+                encoded = codec.encode_message(message)
+                # The headline property: wire bytes == the size model.
+                assert len(encoded) == message.size, \
+                    (protocol, message_type.name, fields)
+                decoded, end = codec.decode_message(encoded)
+                assert end == len(encoded)
+                assert decoded.protocol == agent_class.PROTOCOL
+                assert decoded.type is message_type
+                assert decoded.priority == message.priority
+                for spec in message_type.fields:
+                    got, want = decoded.fields[spec.name], fields[spec.name]
+                    if spec.type_name in ("double", "float") \
+                            and not spec.is_list:
+                        assert got == pytest.approx(want)
+                    else:
+                        assert got == want, (message_type.name, spec.name)
+
+
+@pytest.mark.parametrize("protocol", BUNDLED_PROTOCOLS)
+def test_max_width_scalars_round_trip(protocol):
+    stack, codec = _stack_and_codec(protocol)
+    for agent_class in stack:
+        for message_type in agent_class.MESSAGE_TYPES:
+            fields = {}
+            for spec in message_type.fields:
+                edges = _EDGE_VALUES[spec.type_name]
+                fields[spec.name] = list(edges) if spec.is_list else edges[-1]
+            message = Message(type=message_type, fields=fields,
+                              protocol=agent_class.PROTOCOL)
+            encoded = codec.encode_message(message)
+            assert len(encoded) == message.size
+            decoded, _ = codec.decode_message(encoded)
+            assert decoded.fields == fields
+
+
+def test_wrapped_message_nests_at_model_size():
+    """A Scribe control message wrapped inside a Pastry data message (the
+    layering wire path) encodes to exactly the outer message's model size."""
+    stack, codec = _stack_and_codec("scribe")
+    pastry, scribe = stack
+    scribe_types = {t.name: t for t in scribe.MESSAGE_TYPES}
+    pastry_types = {t.name: t for t in pastry.MESSAGE_TYPES}
+    join_type = scribe_types["join"]
+    inner_fields = {"gid": 77, "member": 4}
+    wrapped = WrappedMessage(
+        protocol="scribe", name="join", fields=dict(inner_fields),
+        payload=None, payload_size=0, source=42, source_key=9,
+        size=join_type.size_of(inner_fields, 0))
+    outer_type = pastry_types["pdata"]
+    outer = Message(type=outer_type, fields={}, payload=wrapped,
+                    payload_size=wrapped.size, protocol="pastry")
+    encoded = codec.encode_message(outer)
+    assert len(encoded) == outer.size
+    decoded, _ = codec.decode_message(encoded)
+    inner = decoded.payload
+    assert isinstance(inner, WrappedMessage)
+    assert inner.protocol == "scribe" and inner.name == "join"
+    assert inner.fields == inner_fields
+    assert inner.source == 42
+    assert inner.size == wrapped.size
+
+
+def test_doubly_nested_wrapped_message():
+    """Two wrapping levels (wrapped inside wrapped inside a data message)
+    round-trip at exactly the outer model size."""
+    stack, codec = _stack_and_codec("splitstream")
+    by_protocol = {cls.PROTOCOL: cls for cls in stack}
+    scribe_types = {t.name: t for t in by_protocol["scribe"].MESSAGE_TYPES}
+    inner_type = scribe_types["tdata"]
+    inner_fields = {spec.name: 3 for spec in inner_type.fields
+                    if not spec.is_list}
+    inner_fields.update({spec.name: [1, 2] for spec in inner_type.fields
+                         if spec.is_list})
+    inner = WrappedMessage(protocol="scribe", name="tdata",
+                           fields=inner_fields, payload=b"tail",
+                           payload_size=64, source=5,
+                           size=inner_type.size_of(inner_fields, 64))
+    mid_type = scribe_types["mdata"]
+    mid_fields = {spec.name: 8 for spec in mid_type.fields if not spec.is_list}
+    mid_fields.update({spec.name: [9] for spec in mid_type.fields
+                       if spec.is_list})
+    middle = WrappedMessage(protocol="scribe", name="mdata", fields=mid_fields,
+                            payload=inner, payload_size=inner.size, source=6,
+                            size=mid_type.size_of(mid_fields, inner.size))
+    pastry_types = {t.name: t for t in by_protocol["pastry"].MESSAGE_TYPES}
+    outer = Message(type=pastry_types["pdata"], fields={}, payload=middle,
+                    payload_size=middle.size, protocol="pastry")
+    encoded = codec.encode_message(outer)
+    assert len(encoded) == outer.size
+    decoded, _ = codec.decode_message(encoded)
+    assert decoded.payload.payload.fields == inner_fields
+    assert decoded.payload.payload.payload == b"tail"
+
+
+def test_payload_kinds_round_trip():
+    stack, codec = _stack_and_codec("chord")
+    data_type = {t.name: t for t in stack[0].MESSAGE_TYPES}["data"]
+    app = AppPayload(seqno=12, sent_at=34.5, source=6, size=1000, stream_id=9)
+    for payload, payload_size in [
+        (None, 0), (None, 500), (b"\x00\xffbytes", 100), ("text", 64),
+        (12345, 64), (2.5, 64), (True, 64), (app, 1000),
+    ]:
+        message = Message(type=data_type, fields={"target": 1, "hops": 2},
+                          payload=payload, payload_size=payload_size,
+                          protocol="chord")
+        encoded = codec.encode_message(message)
+        assert len(encoded) == message.size, (payload, payload_size)
+        decoded, _ = codec.decode_message(encoded)
+        assert decoded.payload == payload
+        assert decoded.payload_size == payload_size
+
+
+def test_heartbeat_payload_round_trips():
+    from repro.runtime.node import _Heartbeat
+    _, codec = _stack_and_codec("chord")
+    for kind in ("ping", "pong"):
+        block = codec.encode_payload(_Heartbeat(kind=kind))
+        decoded, end = codec.decode_payload(block)
+        assert end == len(block)
+        assert isinstance(decoded, _Heartbeat) and decoded.kind == kind
+
+
+def test_string_fields_are_length_prefixed_and_round_trip():
+    note = MessageType("note", (FieldSpec("text", "string"),
+                                FieldSpec("tags", "string", is_list=True),
+                                FieldSpec("count", "int")))
+    codec = WireCodec({"notes": MessageCatalog([note])})
+    rng = random.Random(7)
+    for _ in range(16):
+        fields = {"text": _random_value("string", rng),
+                  "tags": [_random_value("string", rng)
+                           for _ in range(rng.randrange(4))],
+                  "count": 3}
+        message = Message(type=note, fields=fields, protocol="notes")
+        encoded = codec.encode_message(message)
+        assert len(encoded) == message.size
+        decoded, _ = codec.decode_message(encoded)
+        assert decoded.fields == fields
+    # The model itself: 4-byte length prefix plus UTF-8 bytes.
+    assert Message(type=note, fields={"text": "abc", "tags": [],
+                                      "count": 0}).size == \
+        MESSAGE_HEADER_BYTES + (4 + 3) + 4 + 4
+    assert FIELD_TYPE_SIZES["string"] == 4
+
+
+def test_unset_fields_encode_as_zero_defaults():
+    """Scalars left unset travel as zero/False/empty — the live-mode analogue
+    of the simulator's None reads (documented in docs/LIVE.md)."""
+    stack, codec = _stack_and_codec("chord")
+    lookup = {t.name: t for t in stack[0].MESSAGE_TYPES}["lookup"]
+    message = Message(type=lookup, fields={}, protocol="chord")
+    decoded, _ = codec.decode_message(codec.encode_message(message))
+    assert decoded.fields["target"] == 0
+    assert decoded.fields["hops"] == 0
+
+
+def test_codec_errors_are_loud_and_typed():
+    stack, codec = _stack_and_codec("chord")
+    chord_types = {t.name: t for t in stack[0].MESSAGE_TYPES}
+    message = Message(type=chord_types["data"], fields={"target": 1},
+                      protocol="chord")
+    encoded = codec.encode_message(message)
+
+    # Unknown protocol for this codec.
+    with pytest.raises(WireError, match="not built for"):
+        codec.encode_message(Message(type=chord_types["data"], fields={},
+                                     protocol="pastry"))
+    # Truncated buffer.
+    with pytest.raises(WireError, match="truncated"):
+        codec.decode_message(encoded[:10])
+    # Unknown message id (flip the type-id bytes).
+    corrupted = bytearray(encoded)
+    corrupted[8:12] = b"\xde\xad\xbe\xef"
+    with pytest.raises(WireError, match="unknown message id"):
+        codec.decode_message(bytes(corrupted))
+    # Unsupported payload object.
+    with pytest.raises(WireError, match="cannot encode payload"):
+        codec.encode_message(Message(type=chord_types["data"], fields={},
+                                     payload=object(), protocol="chord"))
+    # Oversized for one UDP datagram.
+    with pytest.raises(WireError, match="ceiling"):
+        codec.encode_message(Message(type=chord_types["data"], fields={},
+                                     payload=None, payload_size=200_000,
+                                     protocol="chord"))
+
+
+def test_corrupt_length_prefixes_raise_instead_of_truncating():
+    """A length prefix pointing past the buffer is line noise, not a short
+    value silently handed to the protocol stack."""
+    stack, codec = _stack_and_codec("chord")
+    chord_types = {t.name: t for t in stack[0].MESSAGE_TYPES}
+    message = Message(type=chord_types["data"], fields={"target": 1, "hops": 2},
+                      payload=b"abcdef", payload_size=64, protocol="chord")
+    encoded = bytearray(codec.encode_message(message))
+    # The bytes-payload length prefix sits right after header + fields;
+    # inflate it far past the end of the datagram.
+    fields_width = chord_types["data"].fixed_size - MESSAGE_HEADER_BYTES
+    prefix_at = MESSAGE_HEADER_BYTES + fields_width
+    encoded[prefix_at:prefix_at + 4] = (10_000).to_bytes(4, "big")
+    with pytest.raises(WireError, match="truncated"):
+        codec.decode_message(bytes(encoded))
+
+    note = MessageType("note", (FieldSpec("text", "string"),))
+    note_codec = WireCodec({"notes": MessageCatalog([note])})
+    good = bytearray(note_codec.encode_message(
+        Message(type=note, fields={"text": "hello"}, protocol="notes")))
+    good[MESSAGE_HEADER_BYTES:MESSAGE_HEADER_BYTES + 4] = \
+        (9_999).to_bytes(4, "big")
+    with pytest.raises(WireError, match="truncated"):
+        note_codec.decode_message(bytes(good))
+
+
+def test_wire_ids_are_stable_and_distinct_across_bundle():
+    """Protocol/message ids are pure functions of the name and collide for
+    no bundled specification (both endpoints derive them independently)."""
+    assert wire_id("chord") == wire_id("chord")
+    seen = {}
+    for protocol in BUNDLED_PROTOCOLS:
+        stack = get_registry().load_stack(protocol)
+        for agent_class in stack:
+            proto_id = wire_id(agent_class.PROTOCOL)
+            assert seen.setdefault(proto_id, agent_class.PROTOCOL) == \
+                agent_class.PROTOCOL
+            message_ids = {}
+            for message_type in agent_class.MESSAGE_TYPES:
+                type_id = wire_id(message_type.name)
+                assert message_ids.setdefault(type_id, message_type.name) == \
+                    message_type.name
