@@ -18,7 +18,13 @@ Four workloads are measured:
 * **scale** — the hundreds-of-nodes experiments: 200 registry-compiled
   Chord nodes under a route-probe workload and 200 Scribe-over-Pastry
   nodes multicasting to one group, recording wall-clock, events/s, and
-  per-seed-stable fidelity metrics at ModelNet-like population sizes.
+  per-seed-stable fidelity metrics at ModelNet-like population sizes;
+* **adversarial** — two curated library scenarios
+  (``repro/eval/library.py``): a Chord flash crowd and Scribe-over-Pastry
+  multicast through a flapping directed partition, run under runtime
+  invariant checking, so the stressed fault paths (burst joins, directed
+  cuts, fault-branch routing) are performance-tracked and their fidelity
+  metrics pinned per seed.
 
 A deterministic *fingerprint* workload (fixed seed, fixed traffic schedule)
 is also run; its delivery/latency metrics must be byte-identical across
@@ -358,6 +364,46 @@ def bench_scale(num_nodes: int = 200, duration: float = 180.0,
     return {"chord": chord, "scribe": scribe}
 
 
+# -------------------------------------------------------------- adversarial
+def bench_adversarial(seeds: tuple[int, ...] = (1, 2)) -> dict:
+    """Wall-clock, events/s, and fidelity of two curated adversarial
+    scenarios from the library.
+
+    * **flash_crowd** — registry-compiled Chord absorbing a Poisson burst of
+      joins against a small warm core, with route probes running through the
+      arrival wave;
+    * **scribe_flapping** — Scribe-over-Pastry multicast while the stub
+      uplinks flap as one-directional cuts.
+
+    Both run under :func:`repro.eval.invariants.check_invariants`;
+    ``invariant_violations`` must stay 0, and ``success_ratios`` are
+    per-seed-stable fidelity metrics like the core fingerprint.
+    """
+    from repro.eval.invariants import check_invariants
+    from repro.eval.library import library_spec
+
+    benches = {}
+    for key, name in (("flash_crowd", "flash-crowd"),
+                      ("scribe_flapping", "scribe-flapping")):
+        start = time.perf_counter()
+        results = [library_spec(name, seed=seed).run() for seed in seeds]
+        seconds = time.perf_counter() - start
+        events = sum(result.metrics["sim.events_processed"]
+                     for result in results)
+        violations = sum(len(check_invariants(result)) for result in results)
+        benches[key] = {
+            "scenario": name,
+            "seeds": list(seeds),
+            "seconds": round(seconds, 6),
+            "events_processed": int(events),
+            "events_per_sec": round(events / seconds),
+            "invariant_violations": violations,
+            "success_ratios": [repr(result.metrics["workload.success_ratio"])
+                               for result in results],
+        }
+    return benches
+
+
 # ---------------------------------------------------------------- fingerprint
 def metrics_fingerprint(seed: int = 7, num_hosts: int = 64,
                         num_packets: int = 2_000) -> dict:
@@ -449,6 +495,12 @@ def check_against(entry: dict, reference: dict | None, position: int) -> int:
         ("kernel events/s", ("kernel", "events_per_sec")),
         ("emulator packets/s", ("emulator", "packets_per_sec")),
         ("scenario_churn events/s", ("scenario_churn", "events_per_sec")),
+        # The adversarial library scenarios are fixed-size, so their rates
+        # are comparable on every invocation, smoke included.
+        ("adversarial flash_crowd events/s",
+         ("adversarial", "flash_crowd", "events_per_sec")),
+        ("adversarial scribe_flapping events/s",
+         ("adversarial", "scribe_flapping", "events_per_sec")),
     ):
         measured = _nested_get(entry, *path)
         recorded = _nested_get(reference, *path)
@@ -652,6 +704,7 @@ def main(argv: list[str] | None = None) -> int:
                                                args.scenario_duration),
         "scale": bench_scale(args.scale_nodes, args.scale_duration,
                              args.scale_scribe_nodes),
+        "adversarial": bench_adversarial(),
         "fingerprint": metrics_fingerprint(),
     }
 

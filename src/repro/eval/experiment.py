@@ -174,6 +174,32 @@ class OverlayExperiment:
     def enable_link(self, u: int, v: int) -> None:
         self.emulator.enable_link(u, v)
 
+    def disable_link_direction(self, u: int, v: int) -> None:
+        """Blackhole only the u->v direction (asymmetric partition)."""
+        self.emulator.disable_link_direction(u, v)
+
+    def enable_link_direction(self, u: int, v: int) -> None:
+        self.emulator.enable_link_direction(u, v)
+
+    def degrade_link(self, u: int, v: int, *, bandwidth_factor: float = 1.0,
+                     latency_factor: float = 1.0) -> None:
+        """Degrade one underlay edge (bottleneck-link fault injection)."""
+        self.emulator.degrade_edge(u, v, bandwidth_factor=bandwidth_factor,
+                                   latency_factor=latency_factor)
+
+    def restore_link(self, u: int, v: int) -> None:
+        self.emulator.restore_edge(u, v)
+
+    def degrade_node(self, node, *, bandwidth_factor: float = 1.0,
+                     latency_factor: float = 1.0) -> None:
+        """Degrade a node's access links (slow-node fault injection)."""
+        self.emulator.degrade_host(self._resolve_node(node).address,
+                                   bandwidth_factor=bandwidth_factor,
+                                   latency_factor=latency_factor)
+
+    def restore_node(self, node) -> None:
+        self.emulator.restore_host(self._resolve_node(node).address)
+
     def apply_model(self, model, *, horizon: Optional[float] = None,
                     immediate: bool = False):
         """Compile a scenario model and schedule its events from *now*.

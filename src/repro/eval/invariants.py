@@ -1,0 +1,201 @@
+"""Runtime invariants checkable against any :class:`ScenarioResult`.
+
+The scenario engine makes every run a pure function of ``(spec, seed)``;
+this module supplies the other half of a bug-finding machine: properties
+that must hold at the end of *any* scenario, however adversarial.  The
+fuzzer (:mod:`repro.eval.fuzz`) asserts them over randomly generated specs;
+tests assert them over the curated library.
+
+Four invariants:
+
+* **no_duplicate_delivery** — no workload probe is delivered twice to the
+  same receiver: the ``(stream, seqno)`` pair is unique per delivery
+  (reliable transports reassemble and deduplicate; a duplicate means
+  transport or dispatch state leaked across a fault).
+* **no_lost_acks** — after the run quiesces, no reliable connection on a
+  live node is stranded: unacknowledged in-flight segments imply an armed
+  retransmission timer, and queued-but-untransmitted segments imply an open
+  window being consumed (the send pump never stalls with work pending).
+* **epoch_monotonicity** — transport incarnation numbers track the node
+  lifecycle exactly: a live node's transport epoch equals its crash count,
+  a crashed node's equals its recover count, and no connection has observed
+  a peer epoch from the future.
+* **ring_eventually_correct** — for successor-ring protocols (agents that
+  expose a ``successor`` pointer), the live membership's successor pointers
+  converge to the global ring after the last fault, scored with the
+  existing :func:`~repro.eval.metrics.correct_successor_fraction` observer.
+  Skipped when the scenario leaves no settle window or the protocol has no
+  ring shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..transport.reliable import ReliableTransport
+from .metrics import correct_successor_fraction
+from .scenario import ScenarioResult
+
+#: Event kinds that perturb the overlay (everything except measurement
+#: traffic); ring convergence is only checkable after the last of these.
+DISRUPTIVE_KINDS = frozenset({
+    "join", "crash", "recover", "partition", "heal",
+    "link-cut", "link-heal", "degrade", "restore",
+})
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One observed violation: which invariant, and what it saw."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.invariant}: {self.detail}"
+
+
+Invariant = Callable[[ScenarioResult], "list[InvariantViolation]"]
+
+
+def no_duplicate_delivery(result: ScenarioResult) -> list[InvariantViolation]:
+    """Every workload's ``(receiver, seqno)`` deliveries are unique."""
+    violations = []
+    for compiled in result.experiment.compiled_models:
+        observations = getattr(compiled, "observations", None)
+        if observations is not None and observations.duplicates:
+            violations.append(InvariantViolation(
+                "no_duplicate_delivery",
+                f"workload {compiled.label!r} saw {observations.duplicates} "
+                f"duplicate (receiver, seqno) deliveries"))
+    return violations
+
+
+def no_lost_acks(result: ScenarioResult) -> list[InvariantViolation]:
+    """No live reliable connection is stranded after quiesce.
+
+    Unacked in-flight data without an armed retransmission timer would never
+    be retransmitted (the segment — and its ack — is lost forever); queued
+    data with an empty window would never be transmitted at all (the pump
+    always fills at least one window slot).
+    """
+    violations = []
+    for node in result.experiment.nodes:
+        if node.crashed:
+            continue
+        for transport in node.transport_host._transports.values():
+            if not isinstance(transport, ReliableTransport):
+                continue
+            for peer, connection in transport._connections.items():
+                where = (f"node {node.address} -> {peer} "
+                         f"({transport.name})")
+                if connection.in_flight and not connection._timer_armed:
+                    violations.append(InvariantViolation(
+                        "no_lost_acks",
+                        f"{where}: {len(connection.in_flight)} in-flight "
+                        f"segments with no retransmission timer armed"))
+                if connection.queue and not connection.in_flight:
+                    violations.append(InvariantViolation(
+                        "no_lost_acks",
+                        f"{where}: {len(connection.queue)} queued segments "
+                        f"but an empty window (send pump stalled)"))
+    return violations
+
+
+def epoch_monotonicity(result: ScenarioResult) -> list[InvariantViolation]:
+    """Transport incarnations track node lifecycles; nobody sees the future."""
+    violations = []
+    nodes = result.experiment.nodes
+    crash_counts = {node.address: node.crash_count for node in nodes}
+    for node in nodes:
+        host = node.transport_host
+        # A live node's transport was built at its last recovery (or at
+        # construction), so its epoch is the crash count; a crashed node
+        # still holds the pre-crash incarnation, the recover count.
+        expected = node.recover_count if node.crashed else node.crash_count
+        if host.epoch != expected:
+            violations.append(InvariantViolation(
+                "epoch_monotonicity",
+                f"node {node.address}: transport epoch {host.epoch} != "
+                f"{expected} (crashes={node.crash_count}, "
+                f"recoveries={node.recover_count}, crashed={node.crashed})"))
+        for transport in host._transports.values():
+            if not isinstance(transport, ReliableTransport):
+                continue
+            for peer, connection in transport._connections.items():
+                peer_epoch = connection.peer_epoch
+                if peer_epoch is None:
+                    continue
+                limit = crash_counts.get(peer)
+                if limit is not None and peer_epoch > limit:
+                    violations.append(InvariantViolation(
+                        "epoch_monotonicity",
+                        f"node {node.address} observed epoch {peer_epoch} "
+                        f"from peer {peer}, which has only crashed "
+                        f"{limit} times"))
+    return violations
+
+
+def last_disruption(result: ScenarioResult) -> float:
+    """Time of the last executed overlay-perturbing event (0.0 if none).
+
+    Events scheduled past the scenario duration never fired and are ignored.
+    """
+    times = [time for time, kind, _ in result.events
+             if kind in DISRUPTIVE_KINDS and time <= result.duration]
+    return max(times, default=0.0)
+
+
+def ring_eventually_correct(result: ScenarioResult, *,
+                            threshold: float = 0.7,
+                            settle: float = 40.0) -> list[InvariantViolation]:
+    """Live successor pointers converge to the global ring after the faults.
+
+    Only applicable when the lowest-layer agents expose a ``successor``
+    pointer (the ring/Chord family) and the scenario leaves at least
+    ``settle`` fault-free seconds before the end; returns no violations
+    otherwise (the property is vacuous, not violated).
+    """
+    experiment = result.experiment
+    if result.duration - last_disruption(result) < settle:
+        return []
+    live = [node for node in experiment.nodes
+            if node.alive and node.initialized]
+    if len(live) < 2:
+        return []
+    agents = [node.lowest_agent for node in live]
+    if any(not hasattr(agent, "successor") for agent in agents):
+        return []
+    key_space = agents[0].key_space
+    ring = [(key_space.hash(node.address), node.address) for node in live]
+    successors = {node.address: agent.successor
+                  for node, agent in zip(live, agents)}
+    fraction = correct_successor_fraction(ring, successors)
+    if fraction < threshold:
+        return [InvariantViolation(
+            "ring_eventually_correct",
+            f"correct-successor fraction {fraction:.3f} < {threshold} over "
+            f"{len(live)} live nodes, {result.duration - last_disruption(result):.0f} s "
+            f"after the last disruption")]
+    return []
+
+
+#: The invariants check_invariants runs, in report order.
+INVARIANTS: tuple[str, ...] = ("no_duplicate_delivery", "no_lost_acks",
+                               "epoch_monotonicity", "ring_eventually_correct")
+
+
+def check_invariants(result: ScenarioResult, *,
+                     ring_threshold: float = 0.7,
+                     ring_settle: float = 40.0,
+                     include_ring: bool = True) -> list[InvariantViolation]:
+    """Run every invariant against *result*; return all violations found."""
+    violations = []
+    violations.extend(no_duplicate_delivery(result))
+    violations.extend(no_lost_acks(result))
+    violations.extend(epoch_monotonicity(result))
+    if include_ring:
+        violations.extend(ring_eventually_correct(
+            result, threshold=ring_threshold, settle=ring_settle))
+    return violations

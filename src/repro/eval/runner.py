@@ -90,12 +90,18 @@ class ScenarioRunner:
 
     def run(self) -> ScenarioSummary:
         results = [self.spec.with_seed(seed).run() for seed in self.seeds]
-        keys = set(results[0].metrics)
-        for result in results[1:]:
-            keys &= set(result.metrics)
+        # Aggregate over the *union* of metric keys: fuzzed and adversarial
+        # scenarios routinely produce seed-dependent metric sets (a model
+        # that only fires under some seeds), and intersecting would silently
+        # drop those metrics from the summary.  SummaryStats.count records
+        # how many seeds actually reported each key.
+        keys = set()
+        for result in results:
+            keys |= set(result.metrics)
         aggregate = {
-            key: SummaryStats.from_values([result.metrics[key]
-                                           for result in results])
+            key: SummaryStats.from_values(
+                [result.metrics[key] for result in results
+                 if key in result.metrics])
             for key in keys
         }
         return ScenarioSummary(name=self.spec.name, seeds=list(self.seeds),

@@ -9,14 +9,25 @@ such run — which agents, how many nodes, and a set of typed event models —
 that compiles onto the simulator timeline and executes deterministically from
 a seed.
 
-Four event models cover the paper's fault vocabulary:
+The event models cover the paper's fault vocabulary plus the adversarial
+shapes the scenario fuzzer (:mod:`repro.eval.fuzz`) explores:
 
 * :class:`ChurnModel` — staggered or Poisson joins, plus optional
   leave/rejoin cycling of a fraction of the membership (fail-stop leaves);
+* :class:`FlashCrowdModel` — a calm core boot followed by a Poisson burst
+  of joins (flash-crowd churn), with optional mass departure;
 * :class:`CrashModel` — a correlated fail-stop kill of chosen or sampled
   victims, with optional recovery;
+* :class:`CorrelatedCrashModel` — rack-failure-shaped kills: whole
+  topology attachment groups fail together;
 * :class:`PartitionModel` — a network partition, either host-level groups
   (testbed-style per-host filtering) or physical link cuts, healed later;
+* :class:`FlappingPartitionModel` — timed heal-and-recut cycles, optionally
+  with one-directional (asymmetric) link cuts;
+* :class:`DegradeModel` — slow nodes and bottleneck links: bandwidth/latency
+  degradation of access links or named edges, optionally restored;
+* :class:`GroupModel` — multicast group choreography (create + member joins)
+  for tree-building protocols;
 * :class:`WorkloadModel` — measurement traffic (multicast bursts or key
   route probes) with delivery/latency accounting.
 
@@ -110,6 +121,29 @@ def _resolve_indices(experiment, indices: Sequence[int], what: str) -> list[int]
                 f"{what} index {index} out of range for {count} nodes")
         out.append(index % count)
     return out
+
+
+def _validate_partition_targets(experiment, groups, links, model: str) -> None:
+    """Reject unknown hosts/edges when the model compiles, not mid-run.
+
+    A bad group member or a link absent from the topology used to surface
+    only when the partition event fired (as an AddressError/RoutingError
+    deep inside the emulator, long after ``build()`` returned); fuzzed and
+    hand-written specs alike want the whole list of offenders up front.
+    """
+    count = len(experiment.nodes)
+    bad_members = sorted({index for group in groups for index in group
+                          if not -count <= index < count})
+    if bad_members:
+        raise ScenarioError(
+            f"{model} group members out of range for {count} nodes: "
+            f"{bad_members}")
+    graph = experiment.topology.graph
+    bad_links = [(u, v) for u, v in links if not graph.has_edge(u, v)]
+    if bad_links:
+        raise ScenarioError(
+            f"{model} links not in topology "
+            f"{experiment.topology.name!r}: {bad_links}")
 
 
 @dataclass(frozen=True)
@@ -255,10 +289,10 @@ class PartitionModel(ScenarioModel):
     def instantiate(self, experiment, rng, horizon: float) -> CompiledModel:
         if not self.groups and not self.links:
             raise ScenarioError("PartitionModel needs groups or links to cut")
+        _validate_partition_targets(experiment, self.groups, self.links,
+                                    "PartitionModel")
         events: list[ScenarioEvent] = []
         if self.groups:
-            for group in self.groups:
-                _resolve_indices(experiment, group, "partition member")
             events.append(ScenarioEvent(
                 self.at, "partition",
                 f"partition into {len(self.groups)} host groups",
@@ -278,6 +312,350 @@ class PartitionModel(ScenarioModel):
                     lambda u=u, v=v: experiment.enable_link(u, v)))
         label = self.label or self.default_label()
         return CompiledModel(label, events)
+
+
+@dataclass(frozen=True)
+class FlashCrowdModel(ScenarioModel):
+    """Flash-crowd churn: a calm core boot, then the crowd slams in.
+
+    Nodes ``0..core-1`` join staggered ``core_spacing`` seconds apart from
+    time zero (node 0 is the bootstrap).  The remaining nodes — the crowd —
+    arrive in a Poisson burst starting at ``at`` with exponential
+    inter-arrival gaps of mean ``1/burst_rate`` joins per second.  With
+    ``stay`` set, every crowd node fail-stops ``stay`` seconds after its own
+    join and does not return: the flash crowd leaves as abruptly as it came.
+    """
+
+    core: int = 1
+    core_spacing: float = 0.5
+    at: float = 30.0
+    burst_rate: float = 20.0         # crowd joins per second
+    stay: Optional[float] = None
+
+    def instantiate(self, experiment, rng, horizon: float) -> CompiledModel:
+        num_nodes = len(experiment.nodes)
+        if not 1 <= self.core <= num_nodes:
+            raise ScenarioError(
+                f"FlashCrowdModel core {self.core} out of range for "
+                f"{num_nodes} nodes")
+        if self.burst_rate <= 0:
+            raise ScenarioError("FlashCrowdModel burst_rate must be positive")
+        if self.stay is not None and self.stay <= 0:
+            raise ScenarioError("FlashCrowdModel stay must be positive")
+        events: list[ScenarioEvent] = []
+        for index in range(self.core):
+            events.append(ScenarioEvent(
+                index * self.core_spacing, "join",
+                f"node {index} joins (core)",
+                lambda i=index: experiment.join_node(i)))
+        when = self.at
+        last = self.at
+        for index in range(self.core, num_nodes):
+            when += rng.expovariate(self.burst_rate)
+            last = when
+            events.append(ScenarioEvent(
+                when, "join", f"node {index} joins (crowd)",
+                lambda i=index: experiment.join_node(i)))
+            if self.stay is not None:
+                events.append(ScenarioEvent(
+                    when + self.stay, "crash", f"node {index} departs (crowd)",
+                    lambda i=index: experiment.crash_node(i)))
+        crowd = num_nodes - self.core
+        label = self.label or self.default_label()
+        return CompiledModel(label, events,
+                             finalize=lambda: {
+                                 "crowd": float(crowd),
+                                 "burst_seconds": last - self.at,
+                             })
+
+
+@dataclass(frozen=True)
+class CorrelatedCrashModel(ScenarioModel):
+    """Rack-failure-shaped kills: whole failure domains go down together.
+
+    Nodes are grouped into failure domains by the *stub domain* their access
+    router belongs to (the connected components of the topology's stub-role
+    routers — clients behind one stub clique share power/uplink, the classic
+    rack); ``racks`` of those domains are sampled and every non-exempt
+    member fail-stops at ``at``.  With ``recover_after`` set, the victims
+    all come back that many seconds later — a rack power-cycle rather than
+    a permanent loss.  On topologies without stub roles each attachment
+    router is its own domain.
+    """
+
+    at: float = 10.0
+    racks: int = 1
+    recover_after: Optional[float] = None
+    exempt: tuple[int, ...] = (0,)   # the bootstrap survives by default
+
+    @staticmethod
+    def failure_domains(experiment) -> dict[int, int]:
+        """Map each topology attachment router to a failure-domain id."""
+        import networkx as nx
+
+        from ..network.topology import ROLE_ATTR
+
+        graph = experiment.topology.graph
+        stub_nodes = [node for node, data in graph.nodes(data=True)
+                      if data.get(ROLE_ATTR) == "stub"]
+        domain_of: dict[int, int] = {}
+        components = sorted(
+            (sorted(component) for component in
+             nx.connected_components(graph.subgraph(stub_nodes))),
+            key=lambda members: members[0])
+        for domain, members in enumerate(components):
+            for member in members:
+                domain_of[member] = domain
+        # Client attachment points inherit the domain of the access router
+        # they hang off (a client's topology node is the client vertex
+        # itself, not the router).
+        for client in experiment.topology.clients:
+            for neighbor in graph.neighbors(client):
+                if neighbor in domain_of:
+                    domain_of[client] = domain_of[neighbor]
+                    break
+        return domain_of
+
+    def instantiate(self, experiment, rng, horizon: float) -> CompiledModel:
+        exempt = set(_resolve_indices(experiment, self.exempt, "exempt"))
+        domain_of = self.failure_domains(experiment)
+        by_rack: dict[int, list[int]] = {}
+        for index, node in enumerate(experiment.nodes):
+            if index not in exempt:
+                attachment = node.host.topology_node
+                # Routers outside any stub domain (custom topologies) form
+                # singleton domains, keyed disjointly from the real ones.
+                rack = domain_of.get(attachment, -1 - attachment)
+                by_rack.setdefault(rack, []).append(index)
+        if not 1 <= self.racks <= len(by_rack):
+            raise ScenarioError(
+                f"CorrelatedCrashModel racks={self.racks} out of range: "
+                f"topology has {len(by_rack)} failure domains with "
+                f"non-exempt members")
+        chosen = rng.sample(sorted(by_rack), self.racks)
+        victims = sorted(index for rack in chosen for index in by_rack[rack])
+        events: list[ScenarioEvent] = []
+        for index in victims:
+            events.append(ScenarioEvent(
+                self.at, "crash", f"node {index} fails with its rack",
+                lambda i=index: experiment.crash_node(i)))
+            if self.recover_after is not None:
+                events.append(ScenarioEvent(
+                    self.at + self.recover_after, "recover",
+                    f"node {index} recovers with its rack",
+                    lambda i=index: experiment.recover_node(i, rejoin=True)))
+        label = self.label or self.default_label()
+        return CompiledModel(label, events,
+                             finalize=lambda: {"racks": float(self.racks),
+                                               "victims": float(len(victims))})
+
+
+@dataclass(frozen=True)
+class FlappingPartitionModel(ScenarioModel):
+    """A partition that heals and recuts on a timer — the flapping-link shape
+    that stresses failure detectors far harder than one clean cut.
+
+    Each of ``cycles`` cycles starts at ``at + k * period``: the partition is
+    installed, held for ``duty * period`` seconds, then healed for the rest
+    of the period.  The cut is either host-level ``groups`` (as in
+    :class:`PartitionModel`) or physical ``links``; with ``directed`` set,
+    link cuts blackhole only the ``u -> v`` direction of each listed edge
+    (asymmetric partition: one side keeps hearing the other).
+    """
+
+    at: float = 0.0
+    period: float = 20.0
+    duty: float = 0.5                # fraction of each period spent cut
+    cycles: int = 3
+    groups: tuple[tuple[int, ...], ...] = ()
+    links: tuple[tuple[int, int], ...] = ()
+    directed: bool = False
+
+    def instantiate(self, experiment, rng, horizon: float) -> CompiledModel:
+        if not self.groups and not self.links:
+            raise ScenarioError(
+                "FlappingPartitionModel needs groups or links to cut")
+        if self.directed and not self.links:
+            raise ScenarioError(
+                "FlappingPartitionModel directed cuts need links "
+                "(host groups have no direction)")
+        if self.period <= 0 or not 0 < self.duty < 1 or self.cycles < 1:
+            raise ScenarioError(
+                "FlappingPartitionModel needs period > 0, 0 < duty < 1 "
+                "and cycles >= 1")
+        _validate_partition_targets(experiment, self.groups, self.links,
+                                    "FlappingPartitionModel")
+        events: list[ScenarioEvent] = []
+        for cycle in range(self.cycles):
+            cut_at = self.at + cycle * self.period
+            heal_at = cut_at + self.duty * self.period
+            if self.groups:
+                events.append(ScenarioEvent(
+                    cut_at, "partition",
+                    f"flap {cycle}: partition into {len(self.groups)} groups",
+                    lambda: experiment.partition(
+                        [list(g) for g in self.groups])))
+                events.append(ScenarioEvent(
+                    heal_at, "heal", f"flap {cycle}: partition heals",
+                    experiment.heal_partition))
+            for (u, v) in self.links:
+                if self.directed:
+                    events.append(ScenarioEvent(
+                        cut_at, "link-cut",
+                        f"flap {cycle}: direction ({u} -> {v}) cut",
+                        lambda u=u, v=v: experiment.disable_link_direction(u, v)))
+                    events.append(ScenarioEvent(
+                        heal_at, "link-heal",
+                        f"flap {cycle}: direction ({u} -> {v}) heals",
+                        lambda u=u, v=v: experiment.enable_link_direction(u, v)))
+                else:
+                    events.append(ScenarioEvent(
+                        cut_at, "link-cut", f"flap {cycle}: link ({u}, {v}) cut",
+                        lambda u=u, v=v: experiment.disable_link(u, v)))
+                    events.append(ScenarioEvent(
+                        heal_at, "link-heal",
+                        f"flap {cycle}: link ({u}, {v}) heals",
+                        lambda u=u, v=v: experiment.enable_link(u, v)))
+        label = self.label or self.default_label()
+        return CompiledModel(
+            label, events,
+            finalize=lambda: {"cycles": float(self.cycles),
+                              "cut_seconds": self.cycles * self.duty * self.period})
+
+
+@dataclass(frozen=True)
+class DegradeModel(ScenarioModel):
+    """Slow nodes and bottleneck links: service-rate degradation at runtime.
+
+    At ``at``, the access links of the chosen nodes (named ``hosts`` indices
+    or a sampled ``host_fraction`` of the non-exempt membership) and the
+    named underlay ``links`` have their bandwidth scaled by
+    ``bandwidth_factor`` (down) and latency by ``latency_factor`` (up), via
+    the emulator's degrade hooks — routing reweighs the affected edges with
+    the same targeted invalidation a link cut uses.  With ``restore_after``
+    set, everything returns to its original service rate that many seconds
+    later.
+    """
+
+    at: float = 0.0
+    restore_after: Optional[float] = None
+    hosts: tuple[int, ...] = ()
+    host_fraction: float = 0.0
+    links: tuple[tuple[int, int], ...] = ()
+    bandwidth_factor: float = 1.0
+    latency_factor: float = 1.0
+    exempt: tuple[int, ...] = (0,)
+
+    def instantiate(self, experiment, rng, horizon: float) -> CompiledModel:
+        if self.hosts and self.host_fraction:
+            raise ScenarioError(
+                "give DegradeModel hosts or host_fraction, not both")
+        if not self.hosts and not self.host_fraction and not self.links:
+            raise ScenarioError(
+                "DegradeModel needs hosts, host_fraction, or links")
+        if not 0.0 < self.bandwidth_factor <= 1.0 or self.latency_factor < 1.0:
+            raise ScenarioError(
+                "DegradeModel needs bandwidth_factor in (0, 1] and "
+                "latency_factor >= 1 (degradation only slows things down)")
+        if self.bandwidth_factor == 1.0 and self.latency_factor == 1.0:
+            raise ScenarioError("DegradeModel with both factors 1.0 is a no-op")
+        _validate_partition_targets(experiment, (), self.links, "DegradeModel")
+        if self.hosts:
+            chosen = sorted(set(_resolve_indices(experiment, self.hosts,
+                                                 "degraded host")))
+        elif self.host_fraction:
+            exempt = set(_resolve_indices(experiment, self.exempt, "exempt"))
+            candidates = [i for i in range(len(experiment.nodes))
+                          if i not in exempt]
+            count = min(len(candidates),
+                        round(self.host_fraction * len(candidates)))
+            chosen = sorted(rng.sample(candidates, count))
+        else:
+            chosen = []
+        events: list[ScenarioEvent] = []
+        for index in chosen:
+            events.append(ScenarioEvent(
+                self.at, "degrade", f"node {index} access links degrade",
+                lambda i=index: experiment.degrade_node(
+                    i, bandwidth_factor=self.bandwidth_factor,
+                    latency_factor=self.latency_factor)))
+            if self.restore_after is not None:
+                events.append(ScenarioEvent(
+                    self.at + self.restore_after, "restore",
+                    f"node {index} access links restore",
+                    lambda i=index: experiment.restore_node(i)))
+        for (u, v) in self.links:
+            events.append(ScenarioEvent(
+                self.at, "degrade", f"link ({u}, {v}) degrades",
+                lambda u=u, v=v: experiment.degrade_link(
+                    u, v, bandwidth_factor=self.bandwidth_factor,
+                    latency_factor=self.latency_factor)))
+            if self.restore_after is not None:
+                events.append(ScenarioEvent(
+                    self.at + self.restore_after, "restore",
+                    f"link ({u}, {v}) restores",
+                    lambda u=u, v=v: experiment.restore_link(u, v)))
+        label = self.label or self.default_label()
+        return CompiledModel(label, events,
+                             finalize=lambda: {"hosts": float(len(chosen)),
+                                               "links": float(len(self.links))})
+
+
+@dataclass(frozen=True)
+class GroupModel(ScenarioModel):
+    """Multicast group choreography for tree-building protocols.
+
+    Node ``source`` creates ``group`` at ``at``; the ``members`` (every
+    other node by default) join it staggered ``spacing`` seconds apart.
+    This is the setup a multicast :class:`WorkloadModel` needs on protocols
+    like Scribe, expressed as a model so fuzzed and curated specs can drive
+    tree protocols without hand-written choreography.  Joins are skipped for
+    nodes that are crashed or uninitialised when their join fires.
+    """
+
+    group: int = 1
+    source: int = 0
+    at: float = 0.0
+    spacing: float = 0.25
+    members: tuple[int, ...] = ()    # empty = everyone except source
+
+    def instantiate(self, experiment, rng, horizon: float) -> CompiledModel:
+        source = _resolve_indices(experiment, (self.source,),
+                                  "group source")[0]
+        if self.members:
+            members = [index for index in
+                       _resolve_indices(experiment, self.members,
+                                        "group member")
+                       if index != source]
+        else:
+            members = [index for index in range(len(experiment.nodes))
+                       if index != source]
+        joined = 0
+
+        def _create() -> None:
+            node = experiment.nodes[source]
+            if node.alive and node.initialized:
+                node.macedon_create_group(self.group)
+
+        def _join(index: int) -> None:
+            nonlocal joined
+            node = experiment.nodes[index]
+            if node.alive and node.initialized:
+                node.macedon_join(self.group)
+                joined += 1
+
+        events = [ScenarioEvent(
+            self.at, "group",
+            f"node {source} creates group {self.group}", _create)]
+        for offset, index in enumerate(members):
+            events.append(ScenarioEvent(
+                self.at + (offset + 1) * self.spacing, "group",
+                f"node {index} joins group {self.group}",
+                lambda i=index: _join(i)))
+        label = self.label or self.default_label()
+        return CompiledModel(label, events,
+                             finalize=lambda: {"members": float(len(members)),
+                                               "joined": float(joined)})
 
 
 class WorkloadObservations:

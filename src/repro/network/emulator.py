@@ -119,6 +119,15 @@ class NetworkEmulator:
         self._faults_active = False
         self._detached_count = 0
         self._partition_of: Optional[dict[int, int]] = None
+        # One-directional blackholes: (u, v) pairs whose u->v DirectedLink is
+        # cut while v->u (and routing over the undirected edge) stays up.
+        # Non-empty set => the fault branch filters per packet.
+        self._directed_cuts: set[tuple[int, int]] = set()
+        # Degraded undirected edges: canonical (min, max) -> original
+        # (latency, bandwidth), so restore_edge is exact.
+        self._degraded_edges: dict[tuple[int, int], tuple[float, float]] = {}
+        # Hosts degraded via degrade_host: address -> edges it degraded.
+        self._degraded_hosts: dict[int, list[tuple[int, int]]] = {}
         # Bound-method caches for the per-packet path (skips one descriptor
         # lookup per send and per delivery).
         self._schedule_fast = simulator.schedule_fast
@@ -193,7 +202,8 @@ class NetworkEmulator:
     # ------------------------------------------------------------ fault hooks
     def _recompute_faults_active(self) -> None:
         self._faults_active = (self._detached_count > 0
-                               or self._partition_of is not None)
+                               or self._partition_of is not None
+                               or bool(self._directed_cuts))
 
     def detach_host(self, address: int) -> None:
         """Fail-stop a host: packets to or from it are dropped, not raised.
@@ -276,6 +286,103 @@ class NetworkEmulator:
         self._partition_of = None
         self._recompute_faults_active()
 
+    def disable_link_direction(self, u: int, v: int) -> None:
+        """Blackhole the u->v direction of an edge (asymmetric partition).
+
+        Unlike :meth:`disable_link`, routing is *not* told: the edge stays in
+        every plan (real asymmetric faults — misconfigured filters, one dead
+        transceiver — are invisible to shortest-path routing), and packets
+        whose resolved route crosses the dead direction are dropped at send
+        time.  The check lives inside the ``_faults_active`` branch, so the
+        no-fault hot path is unchanged.  Idempotent.
+        """
+        if not self.topology.graph.has_edge(u, v):
+            raise RoutingError(
+                f"cannot cut link direction ({u}, {v}): not in topology")
+        if (u, v) in self._directed_cuts:
+            return
+        self._directed_cuts.add((u, v))
+        self._links[(u, v)].disable()
+        self._recompute_faults_active()
+
+    def enable_link_direction(self, u: int, v: int) -> None:
+        """Heal a one-directional cut.  Idempotent."""
+        if (u, v) not in self._directed_cuts:
+            return
+        self._directed_cuts.discard((u, v))
+        self._links[(u, v)].enable()
+        self._recompute_faults_active()
+
+    def degrade_edge(self, u: int, v: int, *, bandwidth_factor: float = 1.0,
+                     latency_factor: float = 1.0) -> None:
+        """Degrade an underlay edge at runtime: scale its bandwidth down by
+        ``bandwidth_factor`` and its latency up by ``latency_factor``.
+
+        Both :class:`DirectedLink` directions and the topology graph
+        attributes are updated, and the router reweighs the edge with the
+        same *targeted* invalidation :meth:`disable_link` uses (lengthening
+        an edge never invalidates a plan that avoids it).  Factors apply to
+        the edge's original values, so repeated degrades do not compound.
+        No per-packet filtering is involved: the per-hop transit loop reads
+        the mutated link fields directly, and the no-fault hot path is
+        untouched.
+        """
+        if not 0.0 < bandwidth_factor <= 1.0:
+            raise ValueError("bandwidth_factor must be in (0, 1] "
+                             "(degradation only slows links down)")
+        if latency_factor < 1.0:
+            raise ValueError("latency_factor must be >= 1 "
+                             "(degradation only slows links down)")
+        if not self.topology.graph.has_edge(u, v):
+            raise RoutingError(
+                f"cannot degrade edge ({u}, {v}): not in topology")
+        key = (min(u, v), max(u, v))
+        if key not in self._degraded_edges:
+            data = self.topology.graph[u][v]
+            self._degraded_edges[key] = (data[LATENCY_ATTR],
+                                         data[BANDWIDTH_ATTR])
+        base_latency, base_bandwidth = self._degraded_edges[key]
+        self.topology.graph[u][v][BANDWIDTH_ATTR] = \
+            base_bandwidth * bandwidth_factor
+        for direction in ((u, v), (v, u)):
+            self._links[direction].degrade(bandwidth_factor=bandwidth_factor,
+                                           latency_factor=latency_factor)
+        # Router last: it writes the graph latency attribute and prunes
+        # exactly the SSSP trees/plans (ours included, via the edge
+        # listener) that crossed the now-slower edge.
+        self.router.reweigh_edge(u, v, base_latency * latency_factor)
+
+    def restore_edge(self, u: int, v: int) -> None:
+        """Undo :meth:`degrade_edge`.  A restored edge may shorten any route,
+        so the router performs a full invalidation (as :meth:`enable_link`
+        does).  Idempotent for edges that are not degraded."""
+        key = (min(u, v), max(u, v))
+        original = self._degraded_edges.pop(key, None)
+        if original is None:
+            return
+        base_latency, base_bandwidth = original
+        self.topology.graph[u][v][BANDWIDTH_ATTR] = base_bandwidth
+        for direction in ((u, v), (v, u)):
+            self._links[direction].restore()
+        self.router.reweigh_edge(u, v, base_latency, may_shorten=True)
+
+    def degrade_host(self, address: int, *, bandwidth_factor: float = 1.0,
+                     latency_factor: float = 1.0) -> None:
+        """Slow-node model: degrade every edge incident to the host's
+        attachment router (its access links), via :meth:`degrade_edge`."""
+        host = self._host(address)
+        edges = [(host.node, neighbour)
+                 for neighbour in self.topology.graph.neighbors(host.node)]
+        for u, v in edges:
+            self.degrade_edge(u, v, bandwidth_factor=bandwidth_factor,
+                              latency_factor=latency_factor)
+        self._degraded_hosts[address] = edges
+
+    def restore_host(self, address: int) -> None:
+        """Undo :meth:`degrade_host`.  Idempotent."""
+        for u, v in self._degraded_hosts.pop(address, ()):  # type: ignore[arg-type]
+            self.restore_edge(u, v)
+
     # ------------------------------------------------------------------ routes
     def _route(self, src_node: int, dst_node: int) -> _ResolvedRoute:
         """The resolved (links + path) plan between two attachment routers."""
@@ -338,6 +445,23 @@ class NetworkEmulator:
                 stats.packets_dropped += 1
                 dst_host.dropped += 1
                 return False
+            if self._directed_cuts:
+                # Asymmetric cuts are invisible to routing, so the route is
+                # resolved early (cache-hit for the re-resolution below; no
+                # RNG is consumed, keeping the loss draw sequence intact) and
+                # the packet blackholed if any hop's direction is dead.
+                try:
+                    route = self._route(src_host.node, dst_host.node)
+                except RoutingError:
+                    stats.packets_dropped += 1
+                    dst_host.dropped += 1
+                    return False
+                for link in route.links:
+                    if not link.enabled:
+                        link.drops += 1
+                        stats.packets_dropped += 1
+                        dst_host.dropped += 1
+                        return False
 
         if self.random_loss_rate and self._rng.random() < self.random_loss_rate:
             stats.packets_dropped += 1

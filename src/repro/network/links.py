@@ -93,7 +93,7 @@ class DirectedLink:
 
     __slots__ = ("src", "dst", "latency", "bandwidth", "max_queue_delay",
                  "next_free", "packets", "bytes", "drops", "overlay_payloads",
-                 "enabled")
+                 "enabled", "base_latency", "base_bandwidth")
 
     def __init__(self, src: int, dst: int, latency: float, bandwidth: float,
                  max_queue_delay: float = 0.5, next_free: float = 0.0) -> None:
@@ -101,6 +101,12 @@ class DirectedLink:
         self.dst = dst
         self.latency = latency
         self.bandwidth = bandwidth
+        #: Undegraded values, kept so :meth:`restore` undoes any number of
+        #: stacked :meth:`degrade` calls exactly.  The per-hop transit loop
+        #: reads only ``latency``/``bandwidth``, so degradation adds nothing
+        #: to the hot path.
+        self.base_latency = latency
+        self.base_bandwidth = bandwidth
         #: Maximum queueing delay (seconds of backlog) before drop-tail loss.
         self.max_queue_delay = max_queue_delay
         #: Simulated time at which the transmitter becomes free.
@@ -134,6 +140,30 @@ class DirectedLink:
         stale value is harmless (negative queueing delay clamps to zero).
         """
         self.enabled = True
+
+    def degrade(self, *, bandwidth_factor: float = 1.0,
+                latency_factor: float = 1.0) -> None:
+        """Scale this direction's service rate at runtime (slow-node /
+        bottleneck-link fault injection).
+
+        Factors are applied to the *base* values, so repeated degrades do not
+        compound: ``degrade(bandwidth_factor=0.5)`` twice still leaves the
+        link at half its original bandwidth.  Routing-layer consequences
+        (stale latency-weighted plans) are the caller's job — see
+        ``NetworkEmulator.degrade_edge``.
+        """
+        self.latency = self.base_latency * latency_factor
+        self.bandwidth = self.base_bandwidth * bandwidth_factor
+
+    def restore(self) -> None:
+        """Undo :meth:`degrade`: back to the construction-time service rate."""
+        self.latency = self.base_latency
+        self.bandwidth = self.base_bandwidth
+
+    @property
+    def degraded(self) -> bool:
+        return (self.latency != self.base_latency
+                or self.bandwidth != self.base_bandwidth)
 
     @property
     def max_stress(self) -> int:

@@ -257,6 +257,41 @@ class Router:
         for callback in self._edge_listeners:
             callback(u, v)
 
+    def reweigh_edge(self, u: int, v: int, latency: float,
+                     *, may_shorten: bool = False) -> None:
+        """Change the undirected edge (u, v)'s routing weight at runtime.
+
+        This is the routing half of link degradation.  With ``may_shorten``
+        False (the edge got *slower*), invalidation is targeted exactly like
+        :meth:`disable_edge`: a shortest-path tree that does not use the edge
+        stays optimal when the edge lengthens, so only Dijkstra entries whose
+        tree crosses it and plans whose path traverses it are dropped — and
+        edge listeners are notified so the emulator prunes its resolved plans
+        the same way.  With ``may_shorten`` True (restoration), the edge may
+        now shorten *any* path, so this falls back to a full
+        :meth:`invalidate`, mirroring :meth:`enable_edge`.
+        """
+        if not self._graph.has_edge(u, v):
+            raise RoutingError(f"cannot reweigh edge ({u}, {v}): not in topology")
+        self._graph[u][v][LATENCY_ATTR] = latency
+        if may_shorten:
+            self.invalidate()
+            return
+        adjacency = self._adjacency
+        if adjacency is not None:
+            adjacency[u] = [(n, latency if n == v else w)
+                            for n, w in adjacency.get(u, ())]
+            adjacency[v] = [(n, latency if n == u else w)
+                            for n, w in adjacency.get(v, ())]
+        for source in [s for s, (dist, pred) in self._sssp_cache.items()
+                       if pred.get(v) == u or pred.get(u) == v]:
+            del self._sssp_cache[source]
+        for key in [k for k, plan in self._plan_cache.items()
+                    if self._plan_uses_edge(plan, u, v)]:
+            del self._plan_cache[key]
+        for callback in self._edge_listeners:
+            callback(u, v)
+
     def enable_edge(self, u: int, v: int) -> None:
         """Heal a previously cut edge.
 

@@ -1,0 +1,144 @@
+"""Tests for the runtime invariant checkers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import (
+    ChurnModel,
+    PartitionModel,
+    ScenarioSpec,
+    WorkloadModel,
+    check_invariants,
+    epoch_monotonicity,
+    no_duplicate_delivery,
+    no_lost_acks,
+    ring_eventually_correct,
+)
+from repro.eval.invariants import last_disruption
+from repro.protocols.ring import RingDhtAgent, ring_agent
+from repro.runtime.failure import FailureDetectorConfig
+
+FAST_FAILURE = FailureDetectorConfig(failure_timeout=10.0,
+                                     heartbeat_timeout=4.0,
+                                     check_interval=1.0)
+
+
+def run_spec(models, *, agents=None, num_nodes: int = 6, seed: int = 1,
+             duration: float = 110.0):
+    return ScenarioSpec(
+        name="invariants", agents=agents or [ring_agent()],
+        num_nodes=num_nodes, duration=duration, seed=seed,
+        failure_config=FAST_FAILURE, models=tuple(models)).run()
+
+
+ADVERSARIAL = [
+    ChurnModel(join="staggered", join_spacing=0.5, churn_fraction=0.34,
+               churn_start=20.0, churn_end=55.0, downtime=8.0),
+    WorkloadModel(kind="route", source=-1, start=15.0, packets=15, gap=2.0),
+]
+
+
+def test_clean_adversarial_run_satisfies_all_invariants():
+    result = run_spec(ADVERSARIAL)
+    assert check_invariants(result) == []
+
+
+def test_last_disruption_ignores_unfired_and_measurement_events():
+    result = run_spec(ADVERSARIAL)
+    when = last_disruption(result)
+    assert 0.0 < when <= result.duration
+    # Route probes happen later than the final churn event but never count.
+    route_times = [t for t, kind, _ in result.events if kind == "route"]
+    assert max(route_times) > when
+
+
+def test_duplicate_delivery_detected():
+    class DoubleDeliverAgent(RingDhtAgent):
+        def _route_data(self, target, payload, payload_size, hops):
+            if self._owns(target):
+                self.upcall_deliver(payload, payload_size, "data")
+                self.upcall_deliver(payload, payload_size, "data")
+                return
+            super()._route_data(target, payload, payload_size, hops)
+
+    result = run_spec(ADVERSARIAL, agents=[DoubleDeliverAgent])
+    violations = no_duplicate_delivery(result)
+    assert violations
+    assert violations[0].invariant == "no_duplicate_delivery"
+    assert "duplicate" in str(violations[0])
+
+
+def test_epoch_monotonicity_detects_tampered_epoch():
+    result = run_spec(ADVERSARIAL)
+    assert epoch_monotonicity(result) == []
+    victim = result.experiment.nodes[2]
+    victim.transport_host.epoch += 7
+    violations = epoch_monotonicity(result)
+    assert violations
+    assert str(victim.address) in str(violations[0])
+
+
+def test_no_lost_acks_detects_disarmed_retransmission_timer():
+    from repro.transport.reliable import ReliableTransport
+
+    result = run_spec(ADVERSARIAL)
+    assert no_lost_acks(result) == []
+    # Forge a stranded connection: in-flight data, timer disarmed.
+    for node in result.experiment.nodes:
+        if node.crashed:
+            continue
+        for transport in node.transport_host._transports.values():
+            if isinstance(transport, ReliableTransport) and \
+                    transport._connections:
+                connection = next(iter(transport._connections.values()))
+                connection.in_flight[99999] = object()
+                connection._timer_armed = False
+                violations = no_lost_acks(result)
+                assert violations
+                assert "no retransmission timer" in str(violations[0])
+                return
+    pytest.fail("no reliable connection found to tamper with")
+
+
+def test_ring_invariant_detects_scrambled_successors():
+    result = run_spec(ADVERSARIAL)
+    assert ring_eventually_correct(result) == []
+    # Point everyone at themselves: 0% correct successors.
+    for node in result.experiment.nodes:
+        node.lowest_agent.successor = node.address
+    violations = ring_eventually_correct(result)
+    assert violations
+    assert violations[0].invariant == "ring_eventually_correct"
+
+
+def test_ring_invariant_vacuous_without_settle_window():
+    # Partition heals 5 s before the end: no settle window, no verdict.
+    result = run_spec(
+        [ChurnModel(join="staggered", join_spacing=0.5),
+         PartitionModel(at=100.0, heal_after=5.0,
+                        groups=((0, 1, 2), (3, 4, 5)))],
+        duration=105.0)
+    for node in result.experiment.nodes:
+        node.lowest_agent.successor = node.address
+    assert ring_eventually_correct(result) == []
+
+
+def test_ring_invariant_vacuous_for_ringless_protocols():
+    class NoRingAgent(RingDhtAgent):
+        pass
+
+    result = run_spec(ADVERSARIAL, agents=[NoRingAgent])
+    for node in result.experiment.nodes:
+        del node.lowest_agent.successor   # instance attr; spec var machinery
+    assert ring_eventually_correct(result) == []
+
+
+def test_check_invariants_aggregates_everything():
+    result = run_spec(ADVERSARIAL)
+    result.experiment.nodes[1].transport_host.epoch += 3
+    for node in result.experiment.nodes:
+        node.lowest_agent.successor = node.address
+    names = {v.invariant for v in check_invariants(result)}
+    assert "epoch_monotonicity" in names
+    assert "ring_eventually_correct" in names

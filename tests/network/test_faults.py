@@ -175,3 +175,128 @@ def test_fault_free_hot_path_is_unchanged():
     assert emulator.stats.packets_sent == 5
     assert emulator.stats.packets_delivered == 5
     assert emulator.stats.packets_dropped == 0
+
+
+# ----------------------------------------------------------- directed link cuts
+def test_directed_cut_blocks_one_direction_only():
+    simulator, emulator, (a, b, *_) = build()
+    path = emulator.ip_path(a, b)
+    u, v = path[0], path[1]
+    emulator.disable_link_direction(u, v)
+    received = []
+    for address in (a, b):
+        emulator.set_receive_callback(address, received.append)
+    assert not emulator.send(Packet(src=a, dst=b, payload=None, size=10))
+    assert emulator.send(Packet(src=b, dst=a, payload=None, size=10))
+    simulator.run()
+    assert len(received) == 1
+    assert emulator.stats.packets_dropped == 1
+    emulator.enable_link_direction(u, v)
+    assert not emulator._faults_active
+    assert emulator.send(Packet(src=a, dst=b, payload=None, size=10))
+    simulator.run()
+    assert len(received) == 2
+
+
+def test_directed_cut_is_idempotent_and_validated():
+    _, emulator, _ = build()
+    with pytest.raises(RoutingError):
+        emulator.disable_link_direction(10_000, 10_001)
+    graph = emulator.topology.graph
+    u, v = next(iter(graph.edges()))
+    emulator.disable_link_direction(u, v)
+    emulator.disable_link_direction(u, v)
+    assert emulator._directed_cuts == {(u, v)}
+    emulator.enable_link_direction(u, v)
+    emulator.enable_link_direction(u, v)
+    assert not emulator._directed_cuts
+    assert not emulator._faults_active
+
+
+# ------------------------------------------------------------ edge degradation
+def test_degrade_edge_restores_byte_identical_weights():
+    _, emulator, (a, b, *_) = build()
+    path = emulator.ip_path(a, b)
+    u, v = path[0], path[1]
+    link = emulator._links[(u, v)]
+    original_latency = link.latency
+    original_bandwidth = link.bandwidth
+    emulator.degrade_edge(u, v, bandwidth_factor=0.25, latency_factor=3.0)
+    assert link.latency == original_latency * 3.0
+    assert link.bandwidth == original_bandwidth * 0.25
+    assert link.degraded
+    # Degrading again recomputes from the base, never compounds.
+    emulator.degrade_edge(u, v, bandwidth_factor=0.5, latency_factor=2.0)
+    assert link.latency == original_latency * 2.0
+    emulator.restore_edge(u, v)
+    assert link.latency == original_latency
+    assert link.bandwidth == original_bandwidth
+    assert not link.degraded
+    assert not emulator._faults_active
+
+
+def test_degrade_edge_reroutes_around_slow_edge():
+    simulator, emulator, (a, b, *_) = build(num_hosts=6, seed=2)
+    before = emulator.ip_path(a, b)
+    u, v = before[1], before[2]
+    # Make the edge so slow the router prefers any detour.
+    emulator.degrade_edge(u, v, latency_factor=1000.0)
+    after = emulator.ip_path(a, b)
+    assert (u, v) not in zip(after[:-1], after[1:])
+    assert (v, u) not in zip(after[:-1], after[1:])
+    emulator.restore_edge(u, v)
+    assert emulator.ip_path(a, b) == before
+
+
+def test_degrade_edge_invalidation_is_targeted():
+    simulator, emulator, addresses = build(num_hosts=6, seed=3)
+    a, b, c, d = addresses[:4]
+    emulator.send(Packet(src=a, dst=b, payload=None, size=10))
+    emulator.send(Packet(src=c, dst=d, payload=None, size=10))
+    nodes = {addr: emulator._host(addr).node for addr in (a, b, c, d)}
+    path_ab = emulator.ip_path(a, b)
+    path_cd = emulator.ip_path(c, d)
+    edges_cd = set(zip(path_cd[:-1], path_cd[1:])) | set(zip(path_cd[1:], path_cd[:-1]))
+    slow = next((u, v) for u, v in zip(path_ab[:-1], path_ab[1:])
+                if (u, v) not in edges_cd)
+    untouched_key = (nodes[c], nodes[d])
+    slowed_key = (nodes[a], nodes[b])
+    assert untouched_key in emulator._routes and slowed_key in emulator._routes
+    emulator.degrade_edge(*slow, latency_factor=5.0)
+    assert untouched_key in emulator._routes     # targeted: survivor kept
+    assert slowed_key not in emulator._routes    # traversing plan pruned
+    simulator.run()
+
+
+def test_degrade_edge_validates_factors():
+    _, emulator, _ = build()
+    graph = emulator.topology.graph
+    u, v = next(iter(graph.edges()))
+    with pytest.raises(ValueError):
+        emulator.degrade_edge(u, v, bandwidth_factor=0.0)
+    with pytest.raises(ValueError):
+        emulator.degrade_edge(u, v, bandwidth_factor=1.5)
+    with pytest.raises(ValueError):
+        emulator.degrade_edge(u, v, latency_factor=0.5)
+    with pytest.raises(RoutingError):
+        emulator.degrade_edge(10_000, 10_001, latency_factor=2.0)
+
+
+def test_degrade_host_slows_access_links_and_restores():
+    simulator, emulator, (a, b, *_) = build()
+    client_node = emulator._host(a).node
+    access = [(client_node, nbr)
+              for nbr in emulator.topology.graph.neighbors(client_node)]
+    originals = {edge: emulator._links[edge].latency for edge in access}
+    emulator.degrade_host(a, latency_factor=4.0)
+    for edge, latency in originals.items():
+        assert emulator._links[edge].latency == latency * 4.0
+    received = []
+    emulator.set_receive_callback(b, received.append)
+    assert emulator.send(Packet(src=a, dst=b, payload=None, size=10))
+    simulator.run()
+    assert len(received) == 1
+    emulator.restore_host(a)
+    for edge, latency in originals.items():
+        assert emulator._links[edge].latency == latency
+    assert not emulator._faults_active
