@@ -13,8 +13,10 @@ Usage::
     PYTHONPATH=src python scripts/run_fuzz.py --replay artifacts/fuzz/fuzz-<seed>.json
     PYTHONPATH=src python scripts/run_fuzz.py --library   # curated specs only
 
-Exit status is non-zero when any invariant is violated (or, with --replay,
-when the artifact still reproduces), so CI can gate on it directly.
+Exit status is non-zero when any invariant is violated *or any case crashes
+with an unhandled exception* (or, with --replay, when the artifact still
+reproduces), so CI can gate on it directly — a crashed campaign can never
+report success.  ``--jobs N`` runs cases across N forked worker processes.
 """
 
 from __future__ import annotations
@@ -38,11 +40,23 @@ from repro.eval.library import LIBRARY  # noqa: E402
 
 
 def run_library(seed: int) -> int:
-    """Run every curated library scenario once; report violations."""
+    """Run every curated library scenario once; report violations.
+
+    A scenario that crashes is reported (with its traceback) and fails the
+    run like a violation would — the remaining scenarios still execute.
+    """
     status = 0
     for entry in LIBRARY:
         start = time.time()
-        violations = check_invariants(entry.spec(seed=seed).run())
+        try:
+            violations = check_invariants(entry.spec(seed=seed).run())
+        except Exception:
+            import traceback
+            print(f"library {entry.name:24s} [{entry.protocol}] "
+                  f"{time.time() - start:5.1f}s: CRASH")
+            print(traceback.format_exc())
+            status = 1
+            continue
         verdict = "ok" if not violations else "VIOLATION"
         print(f"library {entry.name:24s} [{entry.protocol}] "
               f"{time.time() - start:5.1f}s: {verdict}")
@@ -80,7 +94,12 @@ def main() -> int:
     parser.add_argument("--library", action="store_true",
                         help="run the curated scenario library instead of "
                              "generated specs")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="forked worker processes running cases in "
+                             "parallel (cases are independent; default 1)")
     args = parser.parse_args()
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     if args.replay is not None:
         return run_replay(args.replay)
@@ -94,11 +113,17 @@ def main() -> int:
                             for name in args.protocols.split(",")))
     start = time.time()
     report = fuzz(args.count, args.seed, config=config,
-                  artifact_dir=args.artifact_dir, log=print)
+                  artifact_dir=args.artifact_dir, jobs=args.jobs, log=print)
     elapsed = time.time() - start
+    crashes = sum(1 for failure in report.failures
+                  if failure.error is not None)
     print(f"\n{report.cases} cases in {elapsed:.1f}s: "
-          f"{len(report.failures)} invariant violation(s)")
+          f"{len(report.failures) - crashes} invariant violation(s), "
+          f"{crashes} crash(es)")
     for failure in report.failures:
+        if failure.error is not None:
+            print(f"  seed={failure.case_seed} CRASH -> {failure.artifact}")
+            continue
         names = sorted({v.invariant for v in failure.violations})
         print(f"  seed={failure.case_seed} {names} -> {failure.artifact}")
     return 0 if report.ok else 1

@@ -87,6 +87,18 @@ class OverlayExperiment:
         #: stack from the original classes and would otherwise silently
         #: revert per-node protocol tuning on rejoined nodes.
         self.configure_hook: Optional[Callable[["OverlayExperiment"], None]] = None
+        #: Sharded execution (set by :meth:`enter_shard` inside a worker):
+        #: addresses of the nodes this shard owns, or ``None`` when the
+        #: experiment runs whole (single process, or a one-shard plan).
+        self._shard_owned: Optional[set[int]] = None
+        self._shard_id = 0
+        self._shard_plan = None
+        #: Owner-gated dispatches this shard popped but skipped (model events
+        #: are scheduled pre-fork on every shard's heap, so each skip is one
+        #: event the single-process run would not have executed here; the
+        #: worker subtracts them to report a shard-count-independent
+        #: ``sim.events_processed``).
+        self.shard_skipped_events = 0
 
     # ----------------------------------------------------------------- plumbing
     def node(self, address: int) -> MacedonNode:
@@ -129,11 +141,48 @@ class OverlayExperiment:
     def alive_nodes(self) -> list[MacedonNode]:
         return [node for node in self.nodes if node.alive]
 
+    # ------------------------------------------------------- sharded execution
+    def owns_node(self, node: MacedonNode) -> bool:
+        """Whether this process owns *node* (always true outside sharded runs).
+
+        Inside a shard worker, nodes owned by other shards are dormant
+        replicas: they exist (so addresses, topology attachment, and deliver
+        handlers resolve) but must never be initialised, crashed, recovered,
+        or made to send — their lifecycle plays out on their owner shard and
+        reaches this one only as network packets.
+        """
+        owned = self._shard_owned
+        return owned is None or node.address in owned
+
+    def enter_shard(self, shard_id: int, plan, capture) -> None:
+        """Install sharded-execution context (called in a forked worker).
+
+        Marks this process's owned nodes (see :meth:`owns_node`) and diverts
+        deliveries bound for other shards' hosts into *capture* —
+        ``capture(arrival_time, dst_shard, dst_address, packet)``, the shard
+        driver's mailbox buffer.  A one-shard plan installs nothing: the
+        worker then executes the exact single-process code paths.
+        """
+        self._shard_id = shard_id
+        self._shard_plan = plan
+        self.shard_skipped_events = 0
+        if plan.num_shards <= 1:
+            return
+        self._shard_owned = {self.nodes[index].address
+                             for index in plan.owned_nodes(shard_id)}
+        shard_of_address = {node.address: plan.shard_of_node[index]
+                            for index, node in enumerate(self.nodes)}
+        self.emulator.install_cross_shard_egress(shard_of_address, shard_id,
+                                                 capture)
+
     # ------------------------------------------------------ scenario primitives
     def join_node(self, node, bootstrap: Optional[int] = None) -> None:
         """Initialise one node against the bootstrap (recovering it first if
-        it is currently crashed)."""
+        it is currently crashed).  No-op for nodes other shards own."""
         node = self._resolve_node(node)
+        if not self.owns_node(node):
+            self.shard_skipped_events += 1
+            return
         bootstrap = bootstrap if bootstrap is not None else self.bootstrap.address
         if node.crashed:
             self._recover(node, bootstrap)
@@ -141,12 +190,20 @@ class OverlayExperiment:
             node.macedon_init(bootstrap)
 
     def crash_node(self, node) -> None:
-        """Fail-stop one node.  Idempotent."""
-        self._resolve_node(node).crash()
+        """Fail-stop one node.  Idempotent; no-op for nodes other shards own."""
+        node = self._resolve_node(node)
+        if not self.owns_node(node):
+            self.shard_skipped_events += 1
+            return
+        node.crash()
 
     def recover_node(self, node, *, rejoin: bool = True) -> None:
-        """Recover a crashed node, re-joining the overlay unless told not to."""
+        """Recover a crashed node, re-joining the overlay unless told not to.
+        No-op for nodes other shards own."""
         node = self._resolve_node(node)
+        if not self.owns_node(node):
+            self.shard_skipped_events += 1
+            return
         self._recover(node, self.bootstrap.address if rejoin else None)
 
     def _recover(self, node: MacedonNode, bootstrap: Optional[int]) -> None:
@@ -216,9 +273,30 @@ class OverlayExperiment:
             if immediate and event.time <= 0.0:
                 event.apply()
             else:
-                self.simulator.schedule(event.time, event.apply,
-                                        label=f"scenario:{event.kind}")
+                self.simulator.schedule(event.time, self._apply_model_event,
+                                        event, label=f"scenario:{event.kind}")
         return compiled
+
+    #: Emulator-level event kinds that intentionally replicate on every shard
+    #: (each worker mutates its own network replica so all shards see the same
+    #: cuts/degradations).  Node-level kinds (join/crash/recover/group and the
+    #: workload kinds) instead self-report their owner-gated skips at the
+    #: call site.
+    _REPLICATED_EVENT_KINDS = frozenset({"partition", "heal",
+                                         "degrade", "restore"})
+
+    def _apply_model_event(self, event) -> None:
+        """Dispatch one scheduled scenario event.
+
+        In a multi-shard worker, a replicated emulator-level event executes on
+        every shard but must count as *one* processed event after the merge:
+        shard 0 is the canonical counter, every other shard books the dispatch
+        as skipped.  Single-process runs (``_shard_id == 0``) take the plain
+        path untouched.
+        """
+        event.apply()
+        if self._shard_id and event.kind in self._REPLICATED_EVENT_KINDS:
+            self.shard_skipped_events += 1
 
     # -------------------------------------------------------------- measurement
     def init_all(self, *, staggered: float = 0.0) -> None:

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import random
+import traceback
 from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 from typing import Callable, Optional, Sequence
@@ -373,7 +374,8 @@ def shrink(spec: ScenarioSpec, violations: Sequence[InvariantViolation],
 # ------------------------------------------------------------------ artifacts
 def write_artifact(path: Path, *, seed: int, original: ScenarioSpec,
                    shrunk: ScenarioSpec,
-                   violations: Sequence[InvariantViolation]) -> None:
+                   violations: Sequence[InvariantViolation],
+                   error: Optional[str] = None) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "schema": ARTIFACT_SCHEMA,
@@ -383,6 +385,10 @@ def write_artifact(path: Path, *, seed: int, original: ScenarioSpec,
         "spec": spec_to_dict(shrunk),
         "original_spec": spec_to_dict(original),
     }
+    if error is not None:
+        # An unhandled exception, not an invariant violation: the traceback
+        # travels in the artifact so the crash replays with full context.
+        payload["error"] = error
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
@@ -401,12 +407,17 @@ def replay_artifact(path: Path,
 # ----------------------------------------------------------------- the fuzzer
 @dataclass
 class FuzzFailure:
-    """One invariant-violating case, fully shrunk."""
+    """One failing case: invariant-violating (fully shrunk) or crashed."""
 
     case_seed: int
     violations: list[InvariantViolation]
     spec: ScenarioSpec
     artifact: Optional[Path] = None
+    #: Traceback text when the case raised instead of violating an
+    #: invariant.  A crashed case is a campaign failure like any other —
+    #: ``FuzzReport.ok`` goes false, so the caller's exit status can never
+    #: green-wash a crash.
+    error: Optional[str] = None
 
 
 @dataclass
@@ -424,21 +435,63 @@ class FuzzReport:
 def fuzz(count: int, seed: int, *,
          config: FuzzConfig = DEFAULT_CONFIG,
          artifact_dir: Optional[Path] = None,
+         jobs: int = 1,
          log: Callable[[str], None] = lambda _: None) -> FuzzReport:
     """Run *count* generated scenarios; shrink and record every violation.
 
     Case seeds derive from *seed* via an independent RNG, so ``fuzz(50, 1)``
     explores the same 50 cases on every machine, and any failing case replays
     as ``generate_spec(case_seed)`` with no further state.
+
+    A case that *crashes* (any unhandled exception out of the scenario
+    engine) does not abort the campaign: it is recorded as a
+    :class:`FuzzFailure` carrying the traceback, the remaining cases still
+    run, and the report comes back not-ok — so a crash can never be
+    green-washed into a passing campaign, and one broken case cannot hide
+    violations in the cases behind it.
+
+    ``jobs > 1`` executes the cases in that many forked worker processes
+    (cases are independent by construction); shrinking of failing cases
+    still happens in this process, serially.
     """
     rng = random.Random(seed)
+    case_seeds = [rng.randrange(2 ** 32) for _ in range(count)]
+
+    def execute(case_seed: int):
+        """('ok', violations) or ('crash', traceback) for one case."""
+        spec = generate_spec(case_seed, config)
+        try:
+            return ("ok", run_case(spec, config))
+        except Exception:
+            return ("crash", traceback.format_exc())
+
+    outcomes = None
+    if jobs > 1:
+        from ..runtime.sharded.mailbox import fork_map
+        outcomes = fork_map(execute, case_seeds, jobs=jobs, label="fuzz case")
+
     report = FuzzReport()
-    for index in range(count):
-        case_seed = rng.randrange(2 ** 32)
+    for index, case_seed in enumerate(case_seeds):
         spec = generate_spec(case_seed, config)
         protocol = protocol_name_of(spec)
-        violations = run_case(spec, config)
+        kind, payload = outcomes[index] if outcomes is not None \
+            else execute(case_seed)
         report.cases += 1
+        if kind == "crash":
+            log(f"case {index + 1}/{count} seed={case_seed} {protocol}: "
+                f"CRASH\n{payload}")
+            failure = FuzzFailure(case_seed=case_seed, violations=[],
+                                  spec=spec, error=payload)
+            if artifact_dir is not None:
+                failure.artifact = (Path(artifact_dir)
+                                    / f"fuzz-{case_seed}.json")
+                write_artifact(failure.artifact, seed=case_seed,
+                               original=spec, shrunk=spec, violations=[],
+                               error=payload)
+                log(f"  artifact: {failure.artifact}")
+            report.failures.append(failure)
+            continue
+        violations = payload
         if not violations:
             log(f"case {index + 1}/{count} seed={case_seed} "
                 f"{protocol}/{spec.num_nodes}n/{spec.duration:.0f}s "

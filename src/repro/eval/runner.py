@@ -79,17 +79,48 @@ class ScenarioSummary:
 
 
 class ScenarioRunner:
-    """Execute one :class:`ScenarioSpec` across multiple seeds."""
+    """Execute one :class:`ScenarioSpec` across multiple seeds.
+
+    ``shards`` runs every seed on the multi-process sharded kernel
+    (:meth:`ScenarioSpec.run_sharded`); ``jobs`` runs the seeds themselves in
+    parallel worker processes — seeds are independent replications, so this
+    is embarrassingly parallel.  The two compose (each seed worker forks its
+    own shard workers), though on a machine with C cores ``jobs * shards``
+    beyond C buys nothing.
+    """
 
     def __init__(self, spec: ScenarioSpec,
-                 seeds: Optional[Sequence[int]] = None) -> None:
+                 seeds: Optional[Sequence[int]] = None, *,
+                 shards: int = 1, jobs: int = 1) -> None:
         self.spec = spec
         self.seeds = list(seeds) if seeds is not None else list(DEFAULT_SEEDS)
         if not self.seeds:
             raise ValueError("ScenarioRunner needs at least one seed")
+        if shards < 1 or jobs < 1:
+            raise ValueError("shards and jobs must be >= 1")
+        self.shards = shards
+        self.jobs = jobs
+
+    def _run_seed(self, seed: int) -> ScenarioResult:
+        seeded = self.spec.with_seed(seed)
+        # Only pass the knob when sharding was requested: spec stand-ins in
+        # tests (and any out-of-tree ScenarioSpec ducks) predate it.
+        result = seeded.run(shards=self.shards) if self.shards != 1 \
+            else seeded.run()
+        if self.jobs > 1:
+            # The live experiment holds the simulator and closures — not
+            # picklable, and aggregation never reads it; drop it before the
+            # result travels back over the worker pipe.
+            result.experiment = None
+        return result
 
     def run(self) -> ScenarioSummary:
-        results = [self.spec.with_seed(seed).run() for seed in self.seeds]
+        if self.jobs > 1:
+            from ..runtime.sharded.mailbox import fork_map
+            results = fork_map(self._run_seed, self.seeds, jobs=self.jobs,
+                               label="seed worker")
+        else:
+            results = [self._run_seed(seed) for seed in self.seeds]
         # Aggregate over the *union* of metric keys: fuzzed and adversarial
         # scenarios routinely produce seed-dependent metric sets (a model
         # that only fires under some seeds), and intersecting would silently

@@ -82,6 +82,17 @@ class CompiledModel:
         self.events = list(events)
         self._finalize = finalize
         self._restore = restore
+        #: Sharded-execution hooks (multi-process runs only).  Models whose
+        #: finalize reads *runtime* counters set both: ``shard_payload()``
+        #: returns the shard-local raw observations and
+        #: ``shard_merge(payloads)`` recomputes the metrics dict from all
+        #: shards' payloads with the exact single-process formulas.  Models
+        #: whose finalize is a pure function of compile-time state (the
+        #: common case — compilation happens once, before the fork) need
+        #: neither: their per-shard metrics are verified identical and used
+        #: as-is.
+        self.shard_payload: Optional[Callable[[], Any]] = None
+        self.shard_merge: Optional[Callable[[list], dict[str, float]]] = None
 
     def metrics(self) -> dict[str, float]:
         """Model-specific metrics, collected after the run."""
@@ -634,12 +645,18 @@ class GroupModel(ScenarioModel):
 
         def _create() -> None:
             node = experiment.nodes[source]
+            if not experiment.owns_node(node):
+                experiment.shard_skipped_events += 1
+                return
             if node.alive and node.initialized:
                 node.macedon_create_group(self.group)
 
         def _join(index: int) -> None:
             nonlocal joined
             node = experiment.nodes[index]
+            if not experiment.owns_node(node):
+                experiment.shard_skipped_events += 1
+                return
             if node.alive and node.initialized:
                 node.macedon_join(self.group)
                 joined += 1
@@ -653,9 +670,18 @@ class GroupModel(ScenarioModel):
                 f"node {index} joins group {self.group}",
                 lambda i=index: _join(i)))
         label = self.label or self.default_label()
-        return CompiledModel(label, events,
-                             finalize=lambda: {"members": float(len(members)),
-                                               "joined": float(joined)})
+        compiled = CompiledModel(label, events,
+                                 finalize=lambda: {"members": float(len(members)),
+                                                   "joined": float(joined)})
+        # Sharded runs: ``joined`` counts only this shard's owned members
+        # (everyone else's join fires on their owner shard), so the merge is
+        # a straight sum; ``members`` is compile-time.
+        compiled.shard_payload = compiled.metrics
+        compiled.shard_merge = lambda payloads: {
+            "members": payloads[0]["members"],
+            "joined": float(sum(p["joined"] for p in payloads)),
+        }
+        return compiled
 
 
 class WorkloadObservations:
@@ -670,6 +696,11 @@ class WorkloadObservations:
         self.per_receiver: dict[int, list[float]] = {}
         self.delivered_seqnos: set[int] = set()
         self._seen: set[tuple[int, int]] = set()
+        #: (receiver, seqno, latency) per first delivery — the unit sharded
+        #: runs merge on: receivers are shard-owned, so (receiver, seqno) is
+        #: globally unique and sorting on it gives every shard count K the
+        #: same canonical latency order.
+        self.records: list[tuple[int, int, float]] = []
 
     def record(self, receiver: int, payload: AppPayload, now: float) -> None:
         key = (receiver, payload.seqno)
@@ -682,6 +713,7 @@ class WorkloadObservations:
         latency = now - payload.sent_at
         self.latencies.append(latency)
         self.per_receiver.setdefault(receiver, []).append(latency)
+        self.records.append((receiver, payload.seqno, latency))
 
     @property
     def success_ratio(self) -> float:
@@ -770,6 +802,12 @@ class WorkloadModel(ScenarioModel):
 
         def _send(seqno: int, sender_index: int, dest_key: Optional[int]) -> None:
             sender = experiment.nodes[sender_index]
+            # Sharded runs: the probe fires (and is counted, sent or
+            # skipped) only on the shard that owns the sender — everywhere
+            # else the node is a dormant replica whose state is meaningless.
+            if not experiment.owns_node(sender):
+                experiment.shard_skipped_events += 1
+                return
             if sender.crashed or not sender.initialized:
                 observations.skipped += 1
                 return
@@ -810,10 +848,41 @@ class WorkloadModel(ScenarioModel):
                 "latency_p95": percentile(observations.latencies, 0.95),
             }
 
+        def _shard_payload() -> dict[str, Any]:
+            return {
+                "sent": observations.sent,
+                "skipped": observations.skipped,
+                "duplicates": observations.duplicates,
+                "records": observations.records,
+            }
+
+        def _shard_merge(payloads: list) -> dict[str, float]:
+            # Recompute every metric from the pooled raw observations with
+            # the exact _finalize formulas.  Records are sorted on the
+            # globally unique (receiver, seqno) key, so the latency order —
+            # and therefore the float accumulation in mean() — is the same
+            # canonical order for every shard count.
+            sent = sum(p["sent"] for p in payloads)
+            records = sorted((record for p in payloads for record in
+                              p["records"]), key=lambda r: (r[0], r[1]))
+            latencies = [latency for _receiver, _seqno, latency in records]
+            delivered_seqnos = {seqno for _receiver, seqno, _latency in records}
+            return {
+                "sent": float(sent),
+                "skipped": float(sum(p["skipped"] for p in payloads)),
+                "deliveries": float(len(records)),
+                "duplicates": float(sum(p["duplicates"] for p in payloads)),
+                "success_ratio": (len(delivered_seqnos) / sent) if sent else 0.0,
+                "latency_mean": mean(latencies),
+                "latency_p95": percentile(latencies, 0.95),
+            }
+
         label = self.label or self.default_label()
         compiled = CompiledModel(label, events, finalize=_finalize,
                                  restore=_restore)
         compiled.observations = observations  # type: ignore[attr-defined]
+        compiled.shard_payload = _shard_payload
+        compiled.shard_merge = _shard_merge
         return compiled
 
 
@@ -850,6 +919,11 @@ class ScenarioResult:
     events: list[tuple[float, str, str]]
     #: The live experiment, for ad-hoc inspection (not used in aggregation).
     experiment: Any = None
+    #: Sharded-run diagnostics (``run_sharded`` only): effective shard count,
+    #: lookahead window, barrier count, cross-shard packet total.  Kept out
+    #: of ``metrics`` because these are partition-dependent by nature while
+    #: metrics must be identical for every shard count.
+    shard_info: Optional[dict] = None
 
 
 AgentClasses = Union[Sequence[Type[Agent]], Callable[[], Sequence[Type[Agent]]]]
@@ -918,8 +992,17 @@ class ScenarioSpec:
         return experiment
 
     # --------------------------------------------------------------------- run
-    def run(self) -> ScenarioResult:
-        """Execute the scenario and collect metrics, series, and event log."""
+    def run(self, *, shards: int = 1) -> ScenarioResult:
+        """Execute the scenario and collect metrics, series, and event log.
+
+        ``shards > 1`` delegates to :meth:`run_sharded`, the multi-process
+        conservative-lockstep kernel; ``shards=1`` is the original
+        single-process path (use :meth:`run_sharded` explicitly to push a
+        one-shard run through the worker pipeline, e.g. for the byte-identity
+        gate in the benchmarks).
+        """
+        if shards != 1:
+            return self.run_sharded(shards)
         experiment = self.build()
         simulator = experiment.simulator
 
@@ -974,3 +1057,144 @@ class ScenarioSpec:
                               duration=self.duration, metrics=metrics,
                               series=series, events=events,
                               experiment=experiment)
+
+    def run_sharded(self, shards: int) -> ScenarioResult:
+        """Execute the scenario on the multi-process sharded kernel.
+
+        The experiment is built once here in the parent (models compiled,
+        agents resolved — so dynamically generated protocol modules exist in
+        every worker), then one worker per shard is forked and runs its own
+        event heap inside conservative lockstep windows, exchanging
+        cross-shard packets at barriers (:mod:`repro.runtime.sharded`).
+
+        ``shards=1`` reproduces :meth:`run` byte-identically (single window,
+        no cross-shard traffic, metrics computed by the worker with the
+        single-process code path).  ``shards=K`` merges per-shard payloads
+        with canonical-order formulas, so repeated runs — and, for
+        fault-free scenarios, different K — give identical metrics; sample
+        series need a global view and are rejected for K > 1.  The returned
+        result carries ``experiment=None`` (the parent's copy never ran).
+        """
+        from ..runtime.sharded import (ShardCoordinator, ShardedDriver,
+                                       plan_shards)
+
+        experiment = self.build()
+        plan = plan_shards(experiment.topology, self.num_nodes, shards)
+        if plan.num_shards > 1 and self.samples:
+            raise ScenarioError(
+                "sample series need a global experiment view and are not "
+                "supported with shards > 1")
+        shard_of_address = {node.address: plan.shard_of_node[index]
+                            for index, node in enumerate(experiment.nodes)}
+        coordinator = ShardCoordinator(plan, start=0.0,
+                                       duration=self.duration,
+                                       shard_of_address=shard_of_address)
+        simulator = experiment.simulator
+        single = plan.num_shards == 1
+
+        def worker(shard_id, endpoint, barriers):
+            driver = ShardedDriver(simulator, shard_id=shard_id, plan=plan,
+                                   endpoint=endpoint)
+            experiment.enter_shard(shard_id, plan, driver.capture)
+            series: dict[str, list[tuple[float, float]]] = {}
+            if single:
+                # Identical sample scheduling to run(): same schedule()
+                # calls, same sequence numbers, so the one-shard run stays
+                # byte-identical.
+                for sample in self.samples:
+                    points = series.setdefault(sample.name, [])
+                    when = sample.start
+                    while when <= self.duration + 1e-9:
+                        simulator.schedule_at(
+                            when,
+                            lambda s=sample, p=points: p.append(
+                                (simulator.now, float(s.fn(experiment)))),
+                            label=f"sample:{sample.name}")
+                        when += sample.interval
+            driver.run_windows(barriers,
+                               experiment.emulator.inject_delivery)
+            for compiled in reversed(experiment.compiled_models):
+                compiled.restore()
+            models = []
+            for compiled in experiment.compiled_models:
+                if not single and compiled.shard_payload is not None:
+                    models.append(compiled.shard_payload())
+                else:
+                    models.append(compiled.metrics())
+            stats = experiment.emulator.stats
+            owned = [experiment.nodes[i]
+                     for i in plan.owned_nodes(shard_id)]
+            return {
+                "models": models,
+                "net": (stats.packets_sent, stats.packets_delivered,
+                        stats.packets_dropped, stats.bytes_delivered),
+                # Subtract the owner-gated no-op dispatches: model events are
+                # on every shard's heap, so without the correction the sum
+                # across shards would grow by (K-1) x model events and
+                # ``sim.events_processed`` would depend on the shard count.
+                "events_processed": (simulator.events_processed
+                                     - experiment.shard_skipped_events),
+                "alive": sum(node.alive for node in owned),
+                "crashes": sum(node.crash_count for node in owned),
+                "recoveries": sum(node.recover_count for node in owned),
+                "series": series,
+                "cross_shard_packets": driver.packets_exported,
+            }
+
+        payloads = coordinator.run(worker)
+
+        metrics: dict[str, float] = {}
+        labels: dict[str, int] = {}
+        for index, compiled in enumerate(experiment.compiled_models):
+            label = compiled.label
+            labels[label] = labels.get(label, 0) + 1
+            if labels[label] > 1:
+                label = f"{label}{labels[label]}"
+            entries = [payload["models"][index] for payload in payloads]
+            if single:
+                model_metrics = entries[0]
+            elif compiled.shard_merge is not None:
+                model_metrics = compiled.shard_merge(entries)
+            else:
+                # No merge hook: only valid if the model's finalize is a
+                # pure function of compile-time state, in which case every
+                # shard reported the same dict.
+                if any(entry != entries[0] for entry in entries[1:]):
+                    raise ScenarioError(
+                        f"model {label!r} produced diverging per-shard "
+                        f"metrics and defines no shard_merge hook")
+                model_metrics = entries[0]
+            for key, value in model_metrics.items():
+                metrics[f"{label}.{key}"] = value
+
+        metrics.update({
+            "net.packets_sent": float(sum(p["net"][0] for p in payloads)),
+            "net.packets_delivered": float(sum(p["net"][1]
+                                               for p in payloads)),
+            "net.packets_dropped": float(sum(p["net"][2] for p in payloads)),
+            "net.bytes_delivered": float(sum(p["net"][3] for p in payloads)),
+            "sim.events_processed": float(sum(p["events_processed"]
+                                              for p in payloads)),
+            "nodes.alive": float(sum(p["alive"] for p in payloads)),
+            "nodes.crashes": float(sum(p["crashes"] for p in payloads)),
+            "nodes.recoveries": float(sum(p["recoveries"]
+                                          for p in payloads)),
+        })
+
+        series = payloads[0]["series"] if single else {}
+        events = [(event.time, event.kind, event.detail)
+                  for compiled in experiment.compiled_models
+                  for event in compiled.events]
+        events.sort(key=lambda item: item[0])
+        shard_info = {
+            "requested_shards": shards,
+            "num_shards": plan.num_shards,
+            "lookahead": plan.lookahead,
+            "barriers": len(coordinator.barriers),
+            "cross_shard_packets": sum(p["cross_shard_packets"]
+                                       for p in payloads),
+        }
+        return ScenarioResult(name=self.name, seed=self.seed,
+                              duration=self.duration, metrics=metrics,
+                              series=series, events=events,
+                              experiment=None, shard_info=shard_info)

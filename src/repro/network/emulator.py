@@ -509,6 +509,148 @@ class NetworkEmulator:
         self._schedule_fast(total_delay, self._deliver_callback, packet)
         return True
 
+    def install_cross_shard_egress(
+            self, shard_of_address: dict[int, int], shard_id: int,
+            capture: Callable[[float, int, int, Packet], None]) -> None:
+        """Divert deliveries to hosts owned by other shards into *capture*.
+
+        The send path schedules every delivery through the ``_schedule_fast``
+        bound-method cache; swapping that attribute intercepts packets at
+        *send* time — the only safe point, because by delivery time the
+        destination shard may already have simulated past the arrival.  A
+        diverted packet costs its full per-hop route walk first, so link
+        counters and the computed delay come from the owning shard;
+        ``capture(arrival_time, dst_shard, dst_address, packet)`` then hands
+        it to the shard mailbox instead of the local event queue.  Local
+        deliveries keep the original one-call fast path.
+
+        This also swaps :meth:`send` for :meth:`_send_sharded`, the
+        contention-free sharded variant — see its docstring for the fidelity
+        trade that buys shard-count-independent results.
+        """
+        inner = self._schedule_fast
+        deliver = self._deliver_callback
+        simulator = self.simulator
+
+        def egress(delay: float, callback, packet) -> None:
+            if callback is deliver:
+                dst_shard = shard_of_address.get(packet.dst, shard_id)
+                if dst_shard != shard_id:
+                    capture(simulator._now + delay, dst_shard,
+                            packet.dst, packet)
+                    return
+            inner(delay, callback, packet)
+
+        self._schedule_fast = egress
+        # All transports resolve ``self.emulator.send`` per call, so an
+        # instance attribute shadows the class method for the whole worker.
+        self._loss_rngs = {}
+        self.send = self._send_sharded  # type: ignore[method-assign]
+
+    def _send_sharded(self, packet: Packet,
+                      payload_tag: Optional[str] = None) -> bool:
+        """:meth:`send` for shard workers: traffic-independent link physics.
+
+        Two properties of the single-process send make results depend on the
+        *global* interleaving of sends, which no shard can observe:
+
+        * **queue coupling** — per-link ``next_free`` occupancy, advanced by
+          every packet crossing the link.  A shard only sees its own nodes'
+          sends, so shared transit links would carry shard-local queue state
+          and delays would drift with the partition.  The sharded send models
+          transmission + propagation but no queueing wait (and therefore no
+          queue-overflow drops): each packet's delay is a pure function of
+          its route and size.
+        * **random loss** — the single shared loss RNG is consumed in global
+          send order.  Here each *source host* draws from its own stream,
+          forked deterministically as ``loss-<address>``; a host's send
+          sequence does not depend on the partition, so neither do its loss
+          draws.
+
+        Both make fixed-seed sharded results identical for every shard count
+        K > 1 (and stable across repeats), at the cost of not reproducing the
+        single-process run's contention effects — docs/PERFORMANCE.md,
+        "Sharded execution", spells out the trade.  This must otherwise stay
+        branch-for-branch identical to :meth:`send`.
+        """
+        hosts = self._hosts
+        src_host = hosts.get(packet.src)
+        dst_host = hosts.get(packet.dst)
+        if src_host is None or dst_host is None:
+            missing = packet.src if src_host is None else packet.dst
+            raise AddressError(f"unknown host address {missing}")
+        now = self.simulator._now
+        packet.created_at = now
+        stats = self.stats
+        stats.packets_sent += 1
+
+        if self._faults_active:
+            if not (src_host.attached and dst_host.attached):
+                stats.packets_dropped += 1
+                dst_host.dropped += 1
+                return False
+            partition = self._partition_of
+            if partition is not None and \
+                    partition.get(packet.src, 0) != partition.get(packet.dst, 0):
+                stats.packets_dropped += 1
+                dst_host.dropped += 1
+                return False
+            if self._directed_cuts:
+                try:
+                    route = self._route(src_host.node, dst_host.node)
+                except RoutingError:
+                    stats.packets_dropped += 1
+                    dst_host.dropped += 1
+                    return False
+                for link in route.links:
+                    if not link.enabled:
+                        link.drops += 1
+                        stats.packets_dropped += 1
+                        dst_host.dropped += 1
+                        return False
+
+        if self.random_loss_rate:
+            rng = self._loss_rngs.get(packet.src)
+            if rng is None:
+                rng = self.simulator.fork_rng(f"loss-{packet.src}")
+                self._loss_rngs[packet.src] = rng
+            if rng.random() < self.random_loss_rate:
+                stats.packets_dropped += 1
+                dst_host.dropped += 1
+                return False
+
+        route = self._routes.get((src_host.node, dst_host.node))
+        if route is None:
+            try:
+                route = self._route(src_host.node, dst_host.node)
+            except RoutingError:
+                stats.packets_dropped += 1
+                dst_host.dropped += 1
+                return False
+        packet.path = route.path
+        wire_size = packet.wire_size
+        total_delay = 0.0
+        for link in route.links:
+            link.packets += 1
+            link.bytes += wire_size
+            if payload_tag is not None:
+                payloads = link.overlay_payloads
+                payloads[payload_tag] = payloads.get(payload_tag, 0) + 1
+            total_delay += wire_size / link.bandwidth + link.latency
+        packet.hops = route.hop_count
+        self._schedule_fast(total_delay, self._deliver_callback, packet)
+        return True
+
+    def inject_delivery(self, delay: float, packet: Packet) -> None:
+        """Schedule a delivery for a packet that arrived from another shard.
+
+        The barrier merge already fixed the deterministic injection order;
+        this just re-enters the normal delivery path, so destination-side
+        stats (``packets_delivered``, ``bytes_delivered`` — the WireCodec
+        size model travels inside the packet) match the single-process run.
+        """
+        self.simulator.schedule_fast(delay, self._deliver_callback, packet)
+
     def _deliver(self, packet: Packet) -> None:
         host = self._hosts.get(packet.dst)
         if host is None or not host.attached:

@@ -164,6 +164,36 @@ def test_shrink_keeps_violated_invariant_set(buggy_protocol):
     assert run_case(shrunk, config)
 
 
+def test_crashed_case_fails_campaign_with_artifact(tmp_path, monkeypatch):
+    """An unhandled exception inside a case is captured as a failure (with
+    its traceback and a replay artifact), and the campaign cannot report ok."""
+    import sys
+    fuzz_module = sys.modules["repro.eval.fuzz"]
+
+    def explode(spec, config):
+        raise RuntimeError("seeded crash for test")
+
+    monkeypatch.setattr(fuzz_module, "run_case", explode)
+    report = fuzz(2, 1, config=small_config(), artifact_dir=tmp_path)
+    assert not report.ok
+    assert len(report.failures) == 2
+    for failure in report.failures:
+        assert failure.violations == []
+        assert "seeded crash for test" in failure.error
+        payload = json.loads(failure.artifact.read_text())
+        assert "seeded crash for test" in payload["error"]
+
+
+def test_parallel_jobs_match_serial_campaign(buggy_protocol):
+    config = small_config(protocols=(buggy_protocol,), max_shrink_runs=2)
+    serial = fuzz(3, 11, config=config)
+    forked = fuzz(3, 11, config=config, jobs=2)
+    assert [f.case_seed for f in serial.failures] == \
+        [f.case_seed for f in forked.failures]
+    assert [spec_to_dict(f.spec) for f in serial.failures] == \
+        [spec_to_dict(f.spec) for f in forked.failures]
+
+
 def test_fuzz_campaign_is_deterministic(buggy_protocol):
     config = small_config(protocols=(buggy_protocol,), max_shrink_runs=2)
     first = fuzz(2, 11, config=config)
@@ -223,3 +253,18 @@ def test_runner_aggregates_union_of_seed_dependent_metrics():
     odd = summary.metric("odd_seeds_only")
     assert odd.count == 2          # seeds 1 and 3 reported it; 2 did not
     assert odd.mean == 1.0
+
+
+def test_runner_forked_jobs_match_serial():
+    serial = ScenarioRunner(_FakeSeededSpec(), seeds=[1, 2, 3]).run()
+    forked = ScenarioRunner(_FakeSeededSpec(), seeds=[1, 2, 3], jobs=2).run()
+    for key in ("always", "odd_seeds_only"):
+        assert forked.metric(key).count == serial.metric(key).count
+        assert forked.metric(key).mean == serial.metric(key).mean
+
+
+def test_runner_rejects_bad_parallelism_arguments():
+    with pytest.raises(ValueError):
+        ScenarioRunner(_FakeSeededSpec(), seeds=[1], jobs=0)
+    with pytest.raises(ValueError):
+        ScenarioRunner(_FakeSeededSpec(), seeds=[1], shards=0)

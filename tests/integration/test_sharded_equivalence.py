@@ -1,0 +1,122 @@
+"""Determinism contract of the sharded kernel (PR 7).
+
+Three guarantees, each load-bearing for trusting sharded results:
+
+* ``shards=1`` pushed through the worker pipeline is byte-identical
+  (repr-exact metrics) to the plain single-process run — the pipeline adds
+  no physics of its own.
+* ``shards=K`` is stable across repeats — forking, barrier exchange, and
+  packet merging introduce no process-local nondeterminism.
+* ``shards=K`` results do not depend on K — the contention-free sharded
+  link model makes per-packet delay a pure function of the route, so the
+  partition choice cannot leak into the physics.
+
+The sharded link model intentionally differs from the single-process
+queueing model (see docs/PERFORMANCE.md, "Sharded execution"), so K>1 runs
+are compared against each other, never against the single-process run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import protocols
+from repro.eval.scenario import (ChurnModel, GroupModel, PartitionModel,
+                                 ScenarioSpec, WorkloadModel)
+from repro.protocols import chord_agent
+from repro.runtime.failure import FailureDetectorConfig
+
+
+def make_seeded():
+    spec = ScenarioSpec(
+        name="sharded-equivalence",
+        agents=lambda: [chord_agent()],
+        num_nodes=40,
+        duration=20.0,
+        failure_config=FailureDetectorConfig(failure_timeout=10.0,
+                                             heartbeat_timeout=4.0,
+                                             check_interval=1.0),
+        models=(
+            ChurnModel(join="staggered", join_spacing=0.1, churn_fraction=0.0),
+            WorkloadModel(kind="route", source=-1, start=15.0, packets=5,
+                          gap=0.25),
+        ),
+    )
+    return spec.with_seed(7)
+
+
+def fingerprint(result) -> dict[str, str]:
+    return {key: repr(value) for key, value in sorted(result.metrics.items())}
+
+
+@pytest.fixture(scope="module")
+def single_run():
+    return make_seeded().run()
+
+
+@pytest.fixture(scope="module")
+def sharded_4():
+    return make_seeded().run_sharded(4)
+
+
+@pytest.mark.determinism
+def test_one_shard_pipeline_is_byte_identical(single_run):
+    piped = make_seeded().run_sharded(1)
+    assert fingerprint(piped) == fingerprint(single_run)
+    assert piped.shard_info["num_shards"] == 1
+
+
+@pytest.mark.determinism
+def test_sharded_run_is_repeat_stable(sharded_4):
+    again = make_seeded().run_sharded(4)
+    assert fingerprint(again) == fingerprint(sharded_4)
+
+
+@pytest.mark.determinism
+def test_results_do_not_depend_on_shard_count(sharded_4):
+    two = make_seeded().run_sharded(2)
+    assert fingerprint(two) == fingerprint(sharded_4)
+
+
+def make_stressed_scribe():
+    """Scribe-over-Pastry with group choreography and a healed partition:
+    exercises the two event families with special sharded accounting —
+    node-gated group joins (owner-skip counted per callsite) and replicated
+    emulator-level partition/heal events (counted once, on shard 0)."""
+    spec = ScenarioSpec(
+        name="sharded-equivalence-scribe",
+        agents=lambda: protocols.scribe_stack("pastry"),
+        num_nodes=30,
+        duration=45.0,
+        failure_config=FailureDetectorConfig(failure_timeout=10.0,
+                                             heartbeat_timeout=4.0,
+                                             check_interval=1.0),
+        models=(
+            ChurnModel(join="staggered", join_spacing=0.15,
+                       churn_fraction=0.0),
+            GroupModel(group=7, source=0, at=18.0, spacing=0.25),
+            PartitionModel(groups=((1, 2, 3),), at=20.0, heal_after=6.0),
+            WorkloadModel(kind="multicast", source=0, group=7, start=38.0,
+                          packets=4, gap=1.0),
+        ),
+    )
+    return spec.with_seed(3)
+
+
+@pytest.mark.determinism
+def test_group_and_partition_events_are_shard_count_independent():
+    two = fingerprint(make_stressed_scribe().run_sharded(2))
+    four = fingerprint(make_stressed_scribe().run_sharded(4))
+    assert two == four
+    assert make_stressed_scribe().run_sharded(1).shard_info["num_shards"] == 1
+
+
+def test_sharded_run_did_real_cross_shard_work(sharded_4, single_run):
+    info = sharded_4.shard_info
+    assert info["num_shards"] == 4
+    assert info["cross_shard_packets"] > 0
+    assert info["barriers"] > 1
+    assert 0.0 < info["lookahead"] < float("inf")
+    # All 40 nodes came up under both kernels.
+    assert sharded_4.metrics["nodes.alive"] == 40.0
+    assert single_run.metrics["nodes.alive"] == 40.0
