@@ -19,6 +19,12 @@ Four workloads are measured:
   Chord nodes under a route-probe workload and 200 Scribe-over-Pastry
   nodes multicasting to one group, recording wall-clock, events/s, and
   per-seed-stable fidelity metrics at ModelNet-like population sizes;
+* **app** — the application layer over the overlays: a Zipf-skewed
+  replicated-KV workload (3-way replication, W=2/Q=2 quorums) on 200
+  registry-compiled Chord nodes and topic pub/sub over Scribe-over-Pastry,
+  both executed through the ``repro.run`` facade; quorum success, phantom
+  reads, replica coverage, and pub/sub coverage are per-seed-stable
+  fidelity metrics;
 * **adversarial** — two curated library scenarios
   (``repro/eval/library.py``): a Chord flash crowd and Scribe-over-Pastry
   multicast through a flapping directed partition, run under runtime
@@ -106,6 +112,10 @@ BENCH_DEFAULTS = {
     "shard_duration": 60,
     "shard_scribe_nodes": 150,
     "shard_scribe_duration": 90,
+    "app_kv_nodes": 200,
+    "app_kv_duration": 180,
+    "app_pubsub_nodes": 100,
+    "app_pubsub_duration": 150,
     "results_file": "BENCH_core.json",
 }
 
@@ -121,7 +131,9 @@ def load_bench_config() -> dict:
                     "neighbors_per_host", "scenario_nodes",
                     "scenario_duration", "scale_nodes", "scale_duration",
                     "scale_scribe_nodes", "shard_nodes", "shard_duration",
-                    "shard_scribe_nodes", "shard_scribe_duration"):
+                    "shard_scribe_nodes", "shard_scribe_duration",
+                    "app_kv_nodes", "app_kv_duration", "app_pubsub_nodes",
+                    "app_pubsub_duration"):
             if key in section:
                 config[key] = section.getint(key)
         if "results_file" in section:
@@ -523,6 +535,108 @@ def bench_shard(num_nodes: int = 1000, duration: float = 60.0,
     }
 
 
+# ---------------------------------------------------------------------- app
+def bench_app(kv_nodes: int = 200, kv_duration: float = 180.0,
+              pubsub_nodes: int = 100, pubsub_duration: float = 150.0,
+              seed: int = 1) -> dict:
+    """The application layer over the overlays (``repro.apps``).
+
+    Two workloads, both executed via the ``repro.run`` facade so the bench
+    also exercises the unified front door:
+
+    * **kv** — a Zipf-skewed replicated key/value workload (3-way
+      replication, W=2/Q=2 quorums, 70% reads) over *kv_nodes*
+      registry-compiled Chord nodes.  ``quorum_success``/``phantom_reads``/
+      ``replica_coverage`` are fixed-seed fidelity metrics and must stay
+      byte-stable across refactors, like the core fingerprint.  At 200
+      nodes quorum success is convergence-limited (~0.57), the same gap
+      the scale bench records as route success 0.618 — a quorum op needs
+      several successful routes over the partially-converged ring
+      (ROADMAP: protocol fidelity at scale), not an application bug;
+    * **pubsub** — topic pub/sub over Scribe-over-Pastry: 4 topics, every
+      node subscribed, a publication burst from the group owner.
+      ``coverage`` is the per-seed-stable fidelity metric.
+    """
+    import repro
+    from repro.eval.library import resolve_protocol
+
+    failure_config = FailureDetectorConfig(failure_timeout=10.0,
+                                           heartbeat_timeout=4.0,
+                                           check_interval=1.0)
+
+    # --- Zipf KV over Chord --------------------------------------------
+    ops_gap = 0.5
+    ops = int(kv_duration * 0.2 / ops_gap)
+    kv_spec = ScenarioSpec(
+        name="bench-app-kv",
+        agents=resolve_protocol("chord"),
+        num_nodes=kv_nodes,
+        duration=kv_duration,
+        failure_config=failure_config,
+        models=(
+            ChurnModel(join="staggered",
+                       join_spacing=(kv_duration * 0.3) / kv_nodes,
+                       churn_fraction=0.0),
+            WorkloadModel(kind="kv", start=kv_duration * 0.6, packets=ops,
+                          gap=ops_gap, keys=64, zipf_s=1.1,
+                          read_fraction=0.7, replicas=3, write_quorum=2,
+                          read_quorum=2),
+        ))
+    start = time.perf_counter()
+    result = repro.run(kv_spec.with_seed(seed))
+    kv_seconds = time.perf_counter() - start
+    kv_events = result.metrics["sim.events_processed"]
+    kv = {
+        "nodes": kv_nodes,
+        "duration": kv_duration,
+        "seed": seed,
+        "seconds": round(kv_seconds, 6),
+        "events_processed": int(kv_events),
+        "events_per_sec": round(kv_events / kv_seconds),
+        "ops": ops,
+        "ops_per_sec_wall": round(ops / kv_seconds, 1),
+        "quorum_success": repr(result.metrics["workload.quorum_success"]),
+        "phantom_reads": repr(result.metrics["workload.phantom_reads"]),
+        "replica_coverage": repr(result.metrics["workload.replica_coverage"]),
+        "latency_mean": repr(result.metrics["workload.latency_mean"]),
+    }
+
+    # --- topic pub/sub over Scribe -------------------------------------
+    publish_start = pubsub_duration * 0.5
+    publishes = max(4, int(pubsub_duration * 0.05))
+    pubsub_spec = ScenarioSpec(
+        name="bench-app-pubsub",
+        agents=resolve_protocol("scribe-pastry"),
+        num_nodes=pubsub_nodes,
+        duration=pubsub_duration,
+        failure_config=failure_config,
+        models=(
+            ChurnModel(join="staggered",
+                       join_spacing=min(
+                           0.15, (pubsub_duration * 0.25) / pubsub_nodes),
+                       churn_fraction=0.0),
+            WorkloadModel(kind="pubsub", source=0, start=publish_start,
+                          packets=publishes, gap=1.0, topics=4, fanout=0),
+        ))
+    start = time.perf_counter()
+    result = repro.run(pubsub_spec.with_seed(seed))
+    pubsub_seconds = time.perf_counter() - start
+    pubsub_events = result.metrics["sim.events_processed"]
+    pubsub = {
+        "nodes": pubsub_nodes,
+        "duration": pubsub_duration,
+        "seed": seed,
+        "seconds": round(pubsub_seconds, 6),
+        "events_processed": int(pubsub_events),
+        "events_per_sec": round(pubsub_events / pubsub_seconds),
+        "publishes": publishes,
+        "deliveries": int(result.metrics["workload.deliveries"]),
+        "coverage": repr(result.metrics["workload.coverage"]),
+        "duplicates": int(result.metrics["workload.duplicates"]),
+    }
+    return {"kv": kv, "pubsub": pubsub}
+
+
 # -------------------------------------------------------------- adversarial
 def bench_adversarial(seeds: tuple[int, ...] = (1, 2)) -> dict:
     """Wall-clock, events/s, and fidelity of two curated adversarial
@@ -687,6 +801,22 @@ def check_against(entry: dict, reference: dict | None, position: int) -> int:
             skipped.append((f"scale {proto}",
                             "run at different sizes than the reference "
                             "(smoke budget); rate not compared"))
+    # App-layer rates compare like scale rates: only at identical sizes.
+    for bench in ("kv", "pubsub"):
+        entry_bench = _nested_get(entry, "app", bench)
+        reference_bench = _nested_get(reference, "app", bench)
+        if entry_bench is None or reference_bench is None:
+            skipped.append((f"app {bench}", "not recorded in both entries"))
+            continue
+        if all(entry_bench.get(key) == reference_bench.get(key)
+               for key in ("nodes", "duration")):
+            checks.append((f"app {bench} events/s",
+                           entry_bench["events_per_sec"],
+                           reference_bench["events_per_sec"]))
+        else:
+            skipped.append((f"app {bench}",
+                            "run at different sizes than the reference "
+                            "(smoke budget); rate not compared"))
     # Shard rates compare like scale rates: only at identical workload
     # shapes and shard counts (smoke runs use a small shard budget).
     for proto in ("chord", "scribe"):
@@ -819,6 +949,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--shard-scribe-duration", type=float,
                         default=config["shard_scribe_duration"],
                         help="simulated seconds of the sharded Scribe bench")
+    parser.add_argument("--app-kv-nodes", type=int,
+                        default=config["app_kv_nodes"],
+                        help="Chord overlay size of the app KV bench")
+    parser.add_argument("--app-kv-duration", type=float,
+                        default=config["app_kv_duration"],
+                        help="simulated seconds of the app KV bench")
+    parser.add_argument("--app-pubsub-nodes", type=int,
+                        default=config["app_pubsub_nodes"],
+                        help="Scribe overlay size of the app pub/sub bench")
+    parser.add_argument("--app-pubsub-duration", type=float,
+                        default=config["app_pubsub_duration"],
+                        help="simulated seconds of the app pub/sub bench")
     parser.add_argument("--shard-counts", type=str, default="1,4,8",
                         help="comma-separated shard counts to bench "
                              "(default 1,4,8)")
@@ -856,6 +998,12 @@ def main(argv: list[str] | None = None) -> int:
         args.shard_scribe_nodes = 60
         args.shard_scribe_duration = 60.0
         args.shard_counts = "1,4"
+        # App smoke: small overlays, full choreography (joins, replication
+        # or tree building, then the measured workload burst).
+        args.app_kv_nodes = 60
+        args.app_kv_duration = 60.0
+        args.app_pubsub_nodes = 40
+        args.app_pubsub_duration = 90.0
 
     # Validate the results file before spending ~a minute benchmarking.
     document = load_results(Path(args.output)) if args.output != "-" else None
@@ -904,6 +1052,14 @@ def main(argv: list[str] | None = None) -> int:
                         _nested_get(reference, "shard", "scribe", "nodes"),
                     "shard_scribe_duration":
                         _nested_get(reference, "shard", "scribe", "duration"),
+                    "app_kv_nodes":
+                        _nested_get(reference, "app", "kv", "nodes"),
+                    "app_kv_duration":
+                        _nested_get(reference, "app", "kv", "duration"),
+                    "app_pubsub_nodes":
+                        _nested_get(reference, "app", "pubsub", "nodes"),
+                    "app_pubsub_duration":
+                        _nested_get(reference, "app", "pubsub", "duration"),
                 })
             checked_sizes = {name: size
                              for name, size in checked_sizes.items()
@@ -944,6 +1100,8 @@ def main(argv: list[str] | None = None) -> int:
                              args.shard_scribe_nodes,
                              args.shard_scribe_duration,
                              shard_counts),
+        "app": bench_app(args.app_kv_nodes, args.app_kv_duration,
+                         args.app_pubsub_nodes, args.app_pubsub_duration),
         "adversarial": bench_adversarial(),
         "fingerprint": metrics_fingerprint(),
     }

@@ -4,8 +4,8 @@
 The live half of the paper's evaluation story: the same ``.mac``-generated
 agents that run in simulation are booted as N OS processes exchanging real
 UDP datagrams (see docs/LIVE.md), driven through a staggered join wave and a
-route or multicast workload, and scored with the same metric shapes the
-scenario runner reports.
+route, multicast, replicated-KV, or pub/sub workload, and scored with the
+same metric shapes the scenario runner reports.
 
 Usage::
 
@@ -39,7 +39,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="number of node processes (default 8)")
     parser.add_argument("--protocol", default="chord",
                         help="registry protocol to deploy (default chord)")
-    parser.add_argument("--workload", choices=("route", "multicast"),
+    parser.add_argument("--workload",
+                        choices=("route", "multicast", "kv", "pubsub"),
                         default="route",
                         help="measurement workload (default route)")
     parser.add_argument("--duration", type=float, default=10.0,
@@ -64,6 +65,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--fix-period", type=float, default=0.5,
                         help="chord fix-fingers period in seconds; 0 keeps "
                              "the specification default (default 0.5)")
+    parser.add_argument("--kv-keys", type=int, default=64,
+                        help="kv: working-set size (default 64)")
+    parser.add_argument("--kv-read-fraction", type=float, default=0.7,
+                        help="kv: fraction of ops that are reads (default 0.7)")
+    parser.add_argument("--kv-replicas", type=int, default=3,
+                        help="kv: replication factor N (default 3)")
+    parser.add_argument("--kv-write-quorum", type=int, default=2,
+                        help="kv: acks to complete a put (default 2)")
+    parser.add_argument("--kv-read-quorum", type=int, default=2,
+                        help="kv: replies to complete a get (default 2)")
+    parser.add_argument("--topics", type=int, default=4,
+                        help="pubsub: topic count; every node subscribes to "
+                             "every topic (default 4)")
     parser.add_argument("--min-success", type=float, default=None,
                         help="exit 1 if workload success ratio is below this")
     parser.add_argument("--per-node", action="store_true",
@@ -72,7 +86,8 @@ def main(argv: list[str] | None = None) -> int:
 
     packets = args.packets
     if packets is None:
-        packets = 8 * args.nodes if args.workload == "route" else 16
+        packets = (8 * args.nodes if args.workload in ("route", "kv")
+                   else 16)
     config = LiveClusterConfig(
         nodes=args.nodes,
         protocol=args.protocol,
@@ -85,6 +100,12 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         base_port=args.base_port,
         fix_period=args.fix_period or None,
+        kv_keys=args.kv_keys,
+        kv_read_fraction=args.kv_read_fraction,
+        kv_replicas=args.kv_replicas,
+        kv_write_quorum=args.kv_write_quorum,
+        kv_read_quorum=args.kv_read_quorum,
+        topics=args.topics,
     )
     outcome = LiveCluster(config).run()
 

@@ -14,13 +14,23 @@ The package is organised as the paper's system is:
   Scribe, SplitStream, Overcast, NICE, Bullet, AMMO, RandTree);
 * :mod:`repro.baselines` — independently written comparison implementations
   (lsd-style Chord, FreePastry-style Pastry);
-* :mod:`repro.apps` — reusable test applications (streaming, random routing);
+* :mod:`repro.apps` — reusable applications (replicated KV, topic pub/sub,
+  streaming, random routing) built on :class:`repro.apps.AppBase`;
 * :mod:`repro.eval` — metrics and the experiment harness reproducing the
   paper's evaluation.
+
+One front door runs any scenario in any mode (see :mod:`repro.facade`)::
+
+    import repro
+    result = repro.run(spec)                  # single-process simulation
+    result = repro.run(spec, shards=4)        # sharded parallel kernel
+    summary = repro.run(spec, seeds=5)        # multi-seed replication
+    live = repro.run(spec, mode="live")       # real processes, real UDP
 """
 
 from .api import MacedonAPI
 from .codegen import compile_mac, get_registry, load_protocol, load_stack
+from .facade import run
 from .network import NetworkEmulator, multi_site_topology, transit_stub_topology
 from .runtime import MacedonNode, Simulator, Tracer
 
@@ -28,6 +38,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "MacedonAPI",
+    "run",
     "compile_mac",
     "get_registry",
     "load_protocol",

@@ -12,7 +12,8 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..runtime.node import MacedonNode
-from .handlers import DeliverHandler, ForwardHandler, NotifyHandler, UpcallHandler
+from .handlers import (DeliverHandler, ForwardHandler, Handlers,
+                       NotifyHandler, UpcallHandler)
 
 
 class MacedonAPI:
@@ -44,6 +45,9 @@ class MacedonAPI:
                           deliver: Optional[DeliverHandler] = None,
                           notify: Optional[NotifyHandler] = None,
                           upcall: Optional[UpcallHandler] = None) -> None:
+        if isinstance(forward, Handlers):
+            self._node.macedon_register_handlers(forward)
+            return
         self._node.macedon_register_handlers(deliver=deliver, forward=forward,
                                              notify=notify, upcall=upcall)
 
@@ -87,7 +91,14 @@ def macedon_register_handlers(node: MacedonNode,
                               deliver: Optional[DeliverHandler] = None,
                               notify: Optional[NotifyHandler] = None,
                               upcall: Optional[UpcallHandler] = None) -> None:
-    """``macedon_register_handlers(...)``."""
+    """``macedon_register_handlers(...)``.
+
+    Also accepts a ready-made :class:`Handlers` instance positionally, the
+    shim form kept for the pre-``AppBase`` wiring style.
+    """
+    if isinstance(forward, Handlers):
+        node.macedon_register_handlers(forward)
+        return
     node.macedon_register_handlers(deliver=deliver, forward=forward,
                                    notify=notify, upcall=upcall)
 

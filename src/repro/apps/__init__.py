@@ -1,20 +1,32 @@
-"""Reusable MACEDON test applications.
+"""Reusable MACEDON applications.
 
-These are the applications the paper's evaluation drives its overlays with: a
-constant-rate streaming source (SplitStream/Scribe experiments), a
-random-destination routing workload (the Pastry latency experiment), and a
-collection/summary application exercising ``macedon_collect``.
+The probe applications the paper's evaluation drives its overlays with — a
+constant-rate streaming source (SplitStream/Scribe experiments) and a
+random-destination routing workload (the Pastry latency experiment) — plus
+the real application layer on top of them: a replicated key/value store
+(:class:`KvStore`) and topic pub/sub (:class:`PubSub`), both written against
+:class:`AppBase`, the typed hook surface every app here subclasses.
 """
 
-from .payload import AppPayload
+from .base import AppBase
+from .kv import KvOpRecord, KvStore
+from .payload import AppPayload, KvPayload, TopicPayload
+from .pubsub import PubSub, TopicDelivery
 from .random_route import RandomRouteWorkload, RouteSample
 from .streaming import StreamReceiver, StreamingSource, bandwidth_timeseries
 
 __all__ = [
+    "AppBase",
     "AppPayload",
+    "KvOpRecord",
+    "KvPayload",
+    "KvStore",
+    "PubSub",
     "RandomRouteWorkload",
     "RouteSample",
     "StreamReceiver",
     "StreamingSource",
+    "TopicDelivery",
+    "TopicPayload",
     "bandwidth_timeseries",
 ]

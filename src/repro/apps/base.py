@@ -1,0 +1,111 @@
+"""Typed application base class over the MACEDON upcall surface.
+
+Applications used to wire themselves up by handing a bare tuple of callables
+to ``macedon_register_handlers(deliver=..., forward=...)``; every app
+re-implemented the same closure plumbing and none of them composed.
+:class:`AppBase` regularizes that: subclass it, override the ``on_*`` hooks
+you care about, and construction installs exactly those hooks on the node.
+
+Chaining: whatever :class:`~repro.api.handlers.Handlers` the node had
+registered before the app was installed is kept as ``self.chain``; hooks the
+app does not override stay pointed at the previous handlers, and an
+overridden hook can pass an upcall it does not recognise down the chain with
+``super().on_deliver(...)`` (or the explicit ``chain_*`` helpers).  That is
+the same discipline the scenario workload recorders use, so instrumentation
+and applications stack in any order and :meth:`uninstall` unwinds one layer.
+
+The old ``macedon_register_handlers`` tuple wiring remains supported — it
+now also accepts a ``Handlers`` instance positionally — so existing call
+sites keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..api.handlers import Handlers
+from ..runtime.node import MacedonNode
+
+
+class AppBase:
+    """One application instance bound to one overlay node.
+
+    Subclasses override any of :meth:`on_deliver`, :meth:`on_forward`,
+    :meth:`on_notify`, :meth:`on_upcall`; only the overridden hooks are
+    installed, so a source-only app (no hooks) leaves the node's existing
+    handlers untouched.
+    """
+
+    def __init__(self, node: MacedonNode, *,
+                 chain: Optional[Handlers] = None) -> None:
+        self.node = node
+        #: Handlers registered before this app; unhandled upcalls fall through.
+        self.chain = chain if chain is not None else node.handlers
+        self._install()
+
+    # ------------------------------------------------------------ installation
+    def _install(self) -> None:
+        cls = type(self)
+        deliver = self.on_deliver if cls.on_deliver is not AppBase.on_deliver \
+            else self.chain.deliver
+        forward = self.on_forward if cls.on_forward is not AppBase.on_forward \
+            else self.chain.forward
+        notify = self.on_notify if cls.on_notify is not AppBase.on_notify \
+            else self.chain.notify
+        upcall = self.on_upcall if cls.on_upcall is not AppBase.on_upcall \
+            else self.chain.upcall
+        self.node.macedon_register_handlers(
+            deliver=deliver, forward=forward, notify=notify, upcall=upcall)
+
+    def uninstall(self) -> None:
+        """Re-register the handlers the node had before this app."""
+        self.node.macedon_register_handlers(self.chain)
+
+    # ----------------------------------------------------------------- context
+    @property
+    def address(self) -> int:
+        return self.node.address
+
+    @property
+    def now(self) -> float:
+        return self.node.simulator.now
+
+    # ------------------------------------------------------------------- hooks
+    def on_deliver(self, payload: Any, size: int, mtype: Any) -> None:
+        """A payload arrived at this node.  Default: pass down the chain."""
+        self.chain_deliver(payload, size, mtype)
+
+    def on_forward(self, payload: Any, size: int, mtype: Any,
+                   next_hop: Optional[int], next_hop_key: Optional[int]) -> bool:
+        """A payload is transiting this node; return False to quash it."""
+        return self.chain_forward(payload, size, mtype, next_hop, next_hop_key)
+
+    def on_notify(self, nbr_type: int, neighbors: list[int]) -> None:
+        """The overlay's neighbor set changed."""
+        self.chain_notify(nbr_type, neighbors)
+
+    def on_upcall(self, op: Any, arg: Any) -> Any:
+        """Generic extensible upcall."""
+        return self.chain_upcall(op, arg)
+
+    # ----------------------------------------------------------- chain helpers
+    def chain_deliver(self, payload: Any, size: int, mtype: Any) -> None:
+        if self.chain.deliver is not None:
+            self.chain.deliver(payload, size, mtype)
+
+    def chain_forward(self, payload: Any, size: int, mtype: Any,
+                      next_hop: Optional[int],
+                      next_hop_key: Optional[int]) -> bool:
+        if self.chain.forward is not None:
+            return bool(self.chain.forward(payload, size, mtype,
+                                           next_hop, next_hop_key))
+        return True
+
+    def chain_notify(self, nbr_type: int, neighbors: list[int]) -> None:
+        if self.chain.notify is not None:
+            self.chain.notify(nbr_type, neighbors)
+
+    def chain_upcall(self, op: Any, arg: Any) -> Any:
+        if self.chain.upcall is not None:
+            return self.chain.upcall(op, arg)
+        return None

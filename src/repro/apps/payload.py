@@ -25,3 +25,56 @@ class AppPayload:
     def tag(self) -> str:
         """Stable identity used for link-stress accounting across overlay hops."""
         return f"app:{self.stream_id}:{self.source}:{self.seqno}"
+
+
+# KvPayload operation codes (the ``op`` field).
+KV_PUT = 0            # client -> root: store key at version
+KV_PUT_REPLICATE = 1  # root -> replica: adopt key at version
+KV_PUT_ACK = 2        # root/replica -> client: write acknowledged
+KV_GET = 3            # client -> root: read key
+KV_GET_READ = 4       # root -> replica: report your version to the client
+KV_GET_REPLY = 5      # root/replica -> client: my version of key (-1 = none)
+KV_REPAIR = 6         # holder -> root: anti-entropy push of a stored key
+
+
+@dataclass(frozen=True)
+class KvPayload:
+    """One KV protocol packet (client op, replication, ack, or read reply).
+
+    ``source`` is the address of the *client* that owns the operation for
+    every packet in that operation's lifetime; ``replier`` identifies which
+    replica produced an ack/reply so quorum counting can deduplicate.
+    ``version`` doubles as the stored value: versions are globally unique
+    and monotonically assigned, so "read returned version v" is a complete
+    consistency observation.
+    """
+
+    op: int
+    key: int
+    version: int
+    seqno: int
+    sent_at: float
+    source: int
+    replier: int = 0
+    size: int = 100
+    stream_id: int = 0
+
+    @property
+    def tag(self) -> str:
+        return f"kv:{self.stream_id}:{self.source}:{self.seqno}:{self.op}"
+
+
+@dataclass(frozen=True)
+class TopicPayload:
+    """One pub/sub publication multicast to a topic group."""
+
+    topic: int
+    seqno: int
+    sent_at: float
+    source: int
+    size: int = 1000
+    stream_id: int = 0
+
+    @property
+    def tag(self) -> str:
+        return f"topic:{self.stream_id}:{self.source}:{self.seqno}"

@@ -1,0 +1,113 @@
+"""Topic-based publish/subscribe over the overlay's group primitives.
+
+A topic is one multicast group: subscribing joins ``group_base + topic``
+(Scribe builds the per-group dissemination tree; SplitStream stripes it),
+and publishing multicasts a :class:`~repro.apps.payload.TopicPayload` to the
+group.  The app is a thin, measurable veneer: it records every first
+delivery per publication with its end-to-end latency, counts duplicates, and
+leaves tree construction entirely to the overlay — which is the point: the
+same class runs over any group-capable MACEDON stack, in simulation or live.
+
+Fail-stop: a crash loses the node's group memberships with the rest of its
+protocol state; the app's subscription set is wiped lazily on the next
+upcall (epoch check against ``node.crash_count``) so a driver can observe
+the loss and re-subscribe.  Recorded deliveries are measurements, not
+replica state, and survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..api.handlers import Handlers
+from ..runtime.node import MacedonNode
+from .base import AppBase
+from .payload import TopicPayload
+
+#: Default first topic group id, clear of the small ids scenario group
+#: models conventionally use.
+TOPIC_GROUP_BASE = 4100
+
+
+@dataclass(frozen=True)
+class TopicDelivery:
+    """One publication received by one subscriber (first copy only)."""
+
+    topic: int
+    seqno: int
+    source: int
+    received_at: float
+    latency: float
+
+
+class PubSub(AppBase):
+    """The pub/sub role of one overlay node (publisher and/or subscriber)."""
+
+    def __init__(self, node: MacedonNode, *,
+                 group_base: int = TOPIC_GROUP_BASE, stream_id: int = 0,
+                 chain: Optional[Handlers] = None) -> None:
+        self.group_base = group_base
+        self.stream_id = stream_id
+        self.subscriptions: set[int] = set()
+        self.deliveries: list[TopicDelivery] = []
+        self.duplicates = 0
+        self.published = 0
+        #: Called with each :class:`TopicDelivery` as it lands.
+        self.on_delivery: Optional[Callable[[TopicDelivery], None]] = None
+        self._seen: set[tuple[int, int]] = set()   # (source, seqno) delivered
+        self._epoch = node.crash_count
+        super().__init__(node, chain=chain)
+
+    def group_of(self, topic: int) -> int:
+        return self.group_base + int(topic)
+
+    # ------------------------------------------------------------- fail-stop
+    def _check_epoch(self) -> None:
+        if self.node.crash_count != self._epoch:
+            self._epoch = self.node.crash_count
+            # Group membership died with the protocol state; deliveries are
+            # observations and stay.
+            self.subscriptions.clear()
+
+    # ------------------------------------------------------------ client API
+    def create_topic(self, topic: int) -> None:
+        self._check_epoch()
+        self.node.macedon_create_group(self.group_of(topic))
+
+    def subscribe(self, topic: int) -> None:
+        self._check_epoch()
+        self.node.macedon_join(self.group_of(topic))
+        self.subscriptions.add(int(topic))
+
+    def unsubscribe(self, topic: int) -> None:
+        self._check_epoch()
+        self.node.macedon_leave(self.group_of(topic))
+        self.subscriptions.discard(int(topic))
+
+    def publish(self, topic: int, seqno: int, size: int = 1000) -> None:
+        """Multicast one publication; ``seqno`` must be publisher-unique."""
+        self._check_epoch()
+        payload = TopicPayload(topic=int(topic), seqno=seqno,
+                               sent_at=self.now, source=self.address,
+                               size=size, stream_id=self.stream_id)
+        self.node.macedon_multicast(self.group_of(topic), payload, size)
+        self.published += 1
+
+    # ----------------------------------------------------------------- hooks
+    def on_deliver(self, payload, size, mtype) -> None:
+        if not isinstance(payload, TopicPayload) or \
+                payload.stream_id != self.stream_id:
+            self.chain_deliver(payload, size, mtype)
+            return
+        self._check_epoch()
+        if (payload.source, payload.seqno) in self._seen:
+            self.duplicates += 1
+            return
+        self._seen.add((payload.source, payload.seqno))
+        delivery = TopicDelivery(topic=payload.topic, seqno=payload.seqno,
+                                 source=payload.source, received_at=self.now,
+                                 latency=self.now - payload.sent_at)
+        self.deliveries.append(delivery)
+        if self.on_delivery is not None:
+            self.on_delivery(delivery)

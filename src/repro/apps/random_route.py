@@ -16,6 +16,7 @@ from typing import Optional, Sequence
 from ..runtime.engine import EventHandle, Simulator
 from ..runtime.keys import KeySpace
 from ..runtime.node import MacedonNode
+from .base import AppBase
 from .payload import AppPayload
 
 
@@ -33,6 +34,20 @@ class RouteSample:
     @property
     def latency(self) -> float:
         return self.received_at - self.sent_at
+
+
+class _RouteReceiver(AppBase):
+    """Per-node receiver role: score delivered probes with the collector."""
+
+    def __init__(self, node: MacedonNode, workload: "RandomRouteWorkload") -> None:
+        self.workload = workload
+        super().__init__(node)
+
+    def on_deliver(self, payload, size, mtype) -> None:
+        if not isinstance(payload, AppPayload):
+            self.chain_deliver(payload, size, mtype)
+            return
+        self.workload._record(self.address, payload)
 
 
 class RandomRouteWorkload:
@@ -55,23 +70,17 @@ class RandomRouteWorkload:
         self._handles: list[EventHandle] = []
         self._running = False
         self._pending: dict[tuple[int, int], tuple[int, float, int]] = {}
-        for node in self.nodes:
-            node.macedon_register_handlers(
-                deliver=self._make_deliver(node.address))
+        self.receivers = [_RouteReceiver(node, self) for node in self.nodes]
 
-    def _make_deliver(self, receiver: int):
-        def _deliver(payload, size, mtype) -> None:
-            if not isinstance(payload, AppPayload):
-                return
-            pending = self._pending.pop((payload.source, payload.seqno), None)
-            if pending is None:
-                return
-            dest_key, sent_at, packet_size = pending
-            self.samples.append(RouteSample(source=payload.source, dest_key=dest_key,
-                                            sent_at=sent_at,
-                                            received_at=self.simulator.now,
-                                            receiver=receiver, size=packet_size))
-        return _deliver
+    def _record(self, receiver: int, payload: AppPayload) -> None:
+        pending = self._pending.pop((payload.source, payload.seqno), None)
+        if pending is None:
+            return
+        dest_key, sent_at, packet_size = pending
+        self.samples.append(RouteSample(source=payload.source, dest_key=dest_key,
+                                        sent_at=sent_at,
+                                        received_at=self.simulator.now,
+                                        receiver=receiver, size=packet_size))
 
     # -------------------------------------------------------------------- drive
     def start(self, duration: float) -> None:

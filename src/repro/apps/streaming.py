@@ -14,6 +14,7 @@ from typing import Optional
 
 from ..runtime.engine import EventHandle, Simulator
 from ..runtime.node import MacedonNode
+from .base import AppBase
 from .payload import AppPayload
 
 
@@ -23,14 +24,19 @@ class StreamStats:
     bytes_sent: int = 0
 
 
-class StreamingSource:
-    """Streams fixed-size packets at a target bit rate into a multicast group."""
+class StreamingSource(AppBase):
+    """Streams fixed-size packets at a target bit rate into a multicast group.
+
+    A pure source: it overrides no upcall hooks, so installing it leaves the
+    node's existing handlers in place (AppBase only registers overridden
+    hooks).
+    """
 
     def __init__(self, node: MacedonNode, group: int, *, rate_bps: float,
                  packet_bytes: int = 1000, stream_id: int = 0) -> None:
         if rate_bps <= 0:
             raise ValueError("rate_bps must be positive")
-        self.node = node
+        super().__init__(node)
         self.simulator: Simulator = node.simulator
         self.group = group
         self.rate_bps = rate_bps
@@ -90,19 +96,19 @@ class Delivery:
         return self.received_at - self.sent_at
 
 
-class StreamReceiver:
-    """Registers a deliver handler and records every received packet."""
+class StreamReceiver(AppBase):
+    """Records every received packet of a stream (first copy per seqno)."""
 
     def __init__(self, node: MacedonNode, *, stream_id: Optional[int] = None) -> None:
-        self.node = node
         self.simulator = node.simulator
         self.stream_id = stream_id
         self.deliveries: list[Delivery] = []
         self._seen: set[tuple[int, int]] = set()
-        node.macedon_register_handlers(deliver=self._on_deliver)
+        super().__init__(node)
 
-    def _on_deliver(self, payload, size, mtype) -> None:
+    def on_deliver(self, payload, size, mtype) -> None:
         if not isinstance(payload, AppPayload):
+            self.chain_deliver(payload, size, mtype)
             return
         if self.stream_id is not None and payload.stream_id != self.stream_id:
             return

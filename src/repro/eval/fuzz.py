@@ -20,6 +20,10 @@ Design constraints baked into the grammar:
   the ring-convergence invariant is checkable rather than vacuous;
 * a route workload always runs, so the delivery invariants have traffic to
   judge;
+* a KV workload always rides along, so the quorum-consistency invariants
+  (phantom reads, read-your-quorum-writes, write durability) have
+  observations to judge — placed after the settle window half the time,
+  which arms the stable-membership consistency check;
 * link faults target :data:`~repro.eval.library.STUB_UPLINK_EDGES`, which
   exist in every generated transit-stub topology, and are only ever cut
   *directionally* or degraded — never fully severed.
@@ -179,6 +183,23 @@ def generate_spec(seed: int,
     models.append(WorkloadModel(kind="route", source=-1, start=15.0,
                                 packets=max(10, int((duration - 20.0) / 2.5)),
                                 gap=2.5))
+    # The KV workload rides along for the quorum invariants: after the
+    # settle window half the time (stable membership arms the
+    # read-your-quorum-writes check), through the faults otherwise
+    # (exercising phantom-read and durability accounting under churn).
+    if rng.random() < 0.5:
+        kv_start = round(fault_end + config.settle / 4, 2)
+        kv_gap = 1.0
+    else:
+        kv_start = 20.0
+        kv_gap = 2.0
+    models.append(WorkloadModel(
+        kind="kv", label="kv", start=kv_start,
+        packets=max(10, int((duration - 10.0 - kv_start) / kv_gap)),
+        gap=kv_gap, packet_bytes=100,
+        keys=rng.choice((16, 64)),
+        read_fraction=rng.choice((0.5, 0.7)),
+        repair_gap=rng.choice((0.0, 10.0))))
     return ScenarioSpec(
         name=f"fuzz-{seed}",
         agents=resolve_protocol(protocol),
@@ -309,8 +330,11 @@ def _weakened_models(model: ScenarioModel) -> "list[ScenarioModel]":
                 min(1.0, model.bandwidth_factor * 2), 3))
         if len(model.links) > 1:
             try_replace(links=model.links[:1])
-    if isinstance(model, WorkloadModel) and model.packets > 10:
-        try_replace(packets=model.packets // 2)
+    if isinstance(model, WorkloadModel):
+        if model.packets > 10:
+            try_replace(packets=model.packets // 2)
+        if model.kind == "kv" and model.repair_gap:
+            try_replace(repair_gap=0.0)
     return candidates
 
 

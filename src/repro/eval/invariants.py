@@ -6,7 +6,7 @@ that must hold at the end of *any* scenario, however adversarial.  The
 fuzzer (:mod:`repro.eval.fuzz`) asserts them over randomly generated specs;
 tests assert them over the curated library.
 
-Four invariants:
+Seven invariants:
 
 * **no_duplicate_delivery** — no workload probe is delivered twice to the
   same receiver: the ``(stream, seqno)`` pair is unique per delivery
@@ -26,6 +26,19 @@ Four invariants:
   existing :func:`~repro.eval.metrics.correct_successor_fraction` observer.
   Skipped when the scenario leaves no settle window or the protocol has no
   ring shape.
+* **kv_no_phantom_reads** — a KV workload's quorum reads never return a
+  version that no client ever wrote to that key: replication may lag or
+  lose data, but it can never fabricate or cross-wire it.  Unconditional.
+* **kv_read_your_quorum_writes** — with ``R + W > N`` and stable, settled
+  membership, a read issued after a write completed returns a version at
+  least that new.  Checked only when the scenario's last disruptive event
+  settled before the workload started (replica sets must be stable for the
+  quorum-overlap argument to apply); vacuous otherwise.
+* **kv_write_durability** — every quorum-acked write survives on some live
+  node as long as fewer than ``write_quorum`` crash events occurred: at
+  least one acking replica never crashed, and adoption is monotone.
+  Vacuous when crashes reach the quorum size (the workload's
+  ``replica_coverage`` metric still reports the degradation).
 """
 
 from __future__ import annotations
@@ -34,7 +47,8 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..transport.reliable import ReliableTransport
-from .metrics import correct_successor_fraction
+from .metrics import (correct_successor_fraction, phantom_reads,
+                      quorum_staleness)
 from .scenario import ScenarioResult
 
 #: Event kinds that perturb the overlay (everything except measurement
@@ -181,9 +195,112 @@ def ring_eventually_correct(result: ScenarioResult, *,
     return []
 
 
+def _kv_states(result: ScenarioResult) -> list:
+    """Every KV workload state the run's compiled models exposed."""
+    if result.experiment is None:
+        return []
+    return [state for compiled in result.experiment.compiled_models
+            if (state := getattr(compiled, "kv_state", None)) is not None]
+
+
+def _kv_records(state) -> tuple[list, list]:
+    """(completed puts, completed gets) from one KV workload's records."""
+    records = sorted(state.observations.records)
+    puts = [r for r in records if r[2] == 0]
+    gets = [r for r in records if r[2] == 1]
+    return puts, gets
+
+
+def kv_no_phantom_reads(result: ScenarioResult) -> list[InvariantViolation]:
+    """No quorum read returns a version nobody ever wrote to that key.
+
+    Replication may lag or lose data under faults, but a version that was
+    never issued against a key means the store fabricated or cross-wired
+    data — a bug under any fault schedule, so this is unconditional.
+    """
+    violations = []
+    for state in _kv_states(result):
+        _puts, gets = _kv_records(state)
+        count = phantom_reads([(r[3], r[4]) for r in gets],
+                              state.issued_writes)
+        if count:
+            violations.append(InvariantViolation(
+                "kv_no_phantom_reads",
+                f"{count} of {len(gets)} quorum reads returned a "
+                f"(key, version) no client ever wrote"))
+    return violations
+
+
+def kv_read_your_quorum_writes(result: ScenarioResult, *,
+                               settle: float = 10.0) -> list[InvariantViolation]:
+    """Under stable membership, completed writes are visible to later reads.
+
+    The ``R + W > N`` overlap argument needs the root and its replica set to
+    be the same for the write and the read, so the check applies only when
+    the last disruptive event (join/crash/partition/...) settled at least
+    ``settle`` seconds before the workload started; vacuous otherwise.
+    """
+    violations = []
+    for state in _kv_states(result):
+        if last_disruption(result) + settle > state.start:
+            continue
+        puts, gets = _kv_records(state)
+        stale = quorum_staleness([(r[3], r[4], r[5]) for r in gets],
+                                 [(r[3], r[4], r[6]) for r in puts])
+        if stale:
+            violations.append(InvariantViolation(
+                "kv_read_your_quorum_writes",
+                f"{stale} of {len(gets)} reads missed a write that "
+                f"completed before they were issued, with stable membership "
+                f"(W={state.write_quorum}, Q={state.read_quorum}, "
+                f"N={state.replicas})"))
+    return violations
+
+
+def kv_write_durability(result: ScenarioResult) -> list[InvariantViolation]:
+    """Quorum-acked writes survive fewer than ``write_quorum`` crashes.
+
+    With ``c < W`` crash events in the whole run, at least one of a write's
+    ``W`` ackers never crashed; adoption is monotone, so that node still
+    holds a version at least as new.  Vacuous once crashes reach ``W`` —
+    fail-stop storage is genuinely allowed to lose the data then.
+    """
+    violations = []
+    if result.experiment is None:
+        return violations
+    total_crashes = sum(node.crash_count
+                        for node in result.experiment.nodes)
+    for state in _kv_states(result):
+        if total_crashes >= state.write_quorum:
+            continue
+        puts, _gets = _kv_records(state)
+        targets: dict[int, int] = {}
+        for record in puts:
+            if record[4] > targets.get(record[3], -1):
+                targets[record[3]] = record[4]
+        live_stores = []
+        for node, store in zip(state.nodes, state.stores):
+            if node.alive and node.initialized:
+                store._check_epoch()
+                live_stores.append(store.store)
+        lost = [(key, version) for key, version in sorted(targets.items())
+                if not any(s.get(key, -1) >= version for s in live_stores)]
+        if lost:
+            violations.append(InvariantViolation(
+                "kv_write_durability",
+                f"{len(lost)} quorum-acked writes (e.g. key {lost[0][0]} "
+                f"version {lost[0][1]}) held by no live node, despite only "
+                f"{total_crashes} crash(es) < write_quorum="
+                f"{state.write_quorum}"))
+    return violations
+
+
 #: The invariants check_invariants runs, in report order.
 INVARIANTS: tuple[str, ...] = ("no_duplicate_delivery", "no_lost_acks",
-                               "epoch_monotonicity", "ring_eventually_correct")
+                               "epoch_monotonicity", "ring_eventually_correct",
+                               "kv_no_phantom_reads",
+                               "kv_read_your_quorum_writes",
+                               "kv_write_durability")
 
 
 def check_invariants(result: ScenarioResult, *,
@@ -198,4 +315,7 @@ def check_invariants(result: ScenarioResult, *,
     if include_ring:
         violations.extend(ring_eventually_correct(
             result, threshold=ring_threshold, settle=ring_settle))
+    violations.extend(kv_no_phantom_reads(result))
+    violations.extend(kv_read_your_quorum_writes(result))
+    violations.extend(kv_write_durability(result))
     return violations

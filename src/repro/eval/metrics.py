@@ -191,6 +191,88 @@ def correct_successor_fraction(ring: Sequence[tuple[int, int]],
     return correct / total
 
 
+# -------------------------------------------------------- application (KV) metrics
+def requests_per_second(completed: int, window: float) -> float:
+    """Application throughput: completed client operations per second.
+
+    ``window`` is the measurement span (workload start to scenario end) —
+    the ROADMAP's north-star quantity when driven by the KV workload.
+    """
+    if window <= 0:
+        return 0.0
+    return completed / window
+
+
+def quorum_staleness(reads: Iterable[tuple[int, int, float]],
+                     writes: Iterable[tuple[int, int, float]]) -> int:
+    """Count quorum reads that missed a write completed before they started.
+
+    ``reads`` are completed reads as ``(key, version_returned, issued_at)``;
+    ``writes`` are completed (quorum-acked) writes as ``(key, version,
+    completed_at)``.  A read is *stale* when some write to its key completed
+    strictly before the read was issued, yet the read returned a smaller
+    version — the read-your-quorum-writes property ``R + W > N`` promises
+    under stable membership.
+    """
+    by_key: dict[int, list[tuple[float, int]]] = {}
+    for key, version, completed_at in writes:
+        by_key.setdefault(key, []).append((completed_at, version))
+    # Prefix-max over completion time: best[i] = max version completed at or
+    # before time point i.
+    prefix: dict[int, tuple[list[float], list[int]]] = {}
+    for key, entries in by_key.items():
+        entries.sort()
+        times, best = [], []
+        top = -1
+        for completed_at, version in entries:
+            top = max(top, version)
+            times.append(completed_at)
+            best.append(top)
+        prefix[key] = (times, best)
+    stale = 0
+    for key, version, issued_at in reads:
+        entry = prefix.get(key)
+        if entry is None:
+            continue
+        times, best = entry
+        position = bisect.bisect_left(times, issued_at)
+        if position > 0 and version < best[position - 1]:
+            stale += 1
+    return stale
+
+
+def phantom_reads(reads: Iterable[tuple[int, int]],
+                  issued_writes: set[tuple[int, int]]) -> int:
+    """Count reads returning a version that was never written to that key.
+
+    ``reads`` are ``(key, version_returned)`` with ``-1`` meaning "not
+    found" (never phantom); ``issued_writes`` is the set of ``(key,
+    version)`` pairs any client ever issued.  A non-zero count means the
+    store fabricated or cross-wired data — unconditionally a bug.
+    """
+    return sum(1 for key, version in reads
+               if version >= 0 and (key, version) not in issued_writes)
+
+
+def replica_coverage(stores: Sequence[dict[int, int]],
+                     targets: dict[int, int], replicas: int) -> float:
+    """How completely the live replica sets hold the latest acked writes.
+
+    ``stores`` are the ``key -> version`` maps of every live node;
+    ``targets`` maps each key to the highest quorum-completed version.  Each
+    key scores ``min(holders, replicas) / replicas`` where a holder stores a
+    version ≥ the target; the result is the mean over keys (1.0 = every
+    acked write is fully N-way replicated among live nodes).
+    """
+    if not targets or replicas < 1:
+        return 0.0
+    score = 0.0
+    for key, version in targets.items():
+        holders = sum(1 for store in stores if store.get(key, -1) >= version)
+        score += min(holders, replicas) / replicas
+    return score / len(targets)
+
+
 # ------------------------------------------------------------------ tree metrics
 def multicast_tree_depths(nodes: Sequence[MacedonNode], protocol: str) -> dict[int, int]:
     """Depth of each node in a tree overlay (root depth 0); -1 if detached."""

@@ -1,0 +1,133 @@
+"""``repro.run`` — one front door for every execution mode.
+
+The scenario engine grew four entry points as the paper's evaluation grew:
+:meth:`~repro.eval.scenario.ScenarioSpec.run` (single-process simulation),
+:meth:`~repro.eval.scenario.ScenarioSpec.run_sharded` (the multi-process
+conservative-lockstep kernel), :class:`~repro.eval.runner.ScenarioRunner`
+(multi-seed replication), and :class:`~repro.live.LiveCluster` (real
+processes over real sockets).  They all execute the *same* declarative
+:class:`~repro.eval.scenario.ScenarioSpec`; this module folds them behind
+one function so a spec written once runs anywhere::
+
+    result  = repro.run(spec)                       # spec.run()
+    result  = repro.run(spec, shards=4)             # spec.run_sharded(4)
+    summary = repro.run(spec, seeds=5, jobs=4)      # ScenarioRunner(...)
+    live    = repro.run(spec, mode="live")          # LiveCluster(...)
+
+The facade adds no semantics: each dispatch is byte-identical to calling
+the underlying entry point directly (pinned by
+``tests/eval/test_facade.py``), and the old entry points remain public.
+
+Live mode maps the spec onto a :class:`~repro.live.LiveClusterConfig`:
+the protocol comes from reverse-resolving the spec's agents factory
+against :data:`repro.eval.library.PROTOCOLS`, the workload from the
+spec's first :class:`~repro.eval.scenario.WorkloadModel`.  Fault models
+do not translate (real processes fail for real), a live deployment runs
+one seed in one piece, and the live schedule (join wave + settle) replaces
+the model's ``start``/``gap`` timing — everything else carries over,
+including every KV quorum knob and the pub/sub topic count.  Keyword
+overrides pass through to :class:`~repro.live.LiveClusterConfig` (e.g.
+``base_port=48000``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+#: library protocol name -> registry spec name bootable by the live runtime.
+#: ``ringdht`` is absent by design: it is a hand-written agent, not a
+#: ``.mac`` specification the live registry can compile.
+_LIVE_PROTOCOLS = {
+    "chord": "chord",
+    "pastry": "pastry",
+    "scribe-pastry": "scribe",
+}
+
+
+def _run_live(spec, overrides: dict):
+    from .eval.fuzz import protocol_name_of
+    from .eval.scenario import ScenarioError, WorkloadModel
+    from .live import LiveCluster, LiveClusterConfig
+
+    name = protocol_name_of(spec)
+    live_name = _LIVE_PROTOCOLS.get(name)
+    if live_name is None:
+        raise ScenarioError(
+            f"protocol {name!r} has no live deployment (it is not a "
+            f"compiled .mac specification); live protocols: "
+            f"{sorted(_LIVE_PROTOCOLS)}")
+    workloads = [model for model in spec.models
+                 if isinstance(model, WorkloadModel)]
+    if not workloads:
+        raise ScenarioError(
+            "live mode needs a WorkloadModel in spec.models to know what "
+            "traffic to drive")
+    model = workloads[0]
+    kwargs = dict(
+        nodes=spec.num_nodes,
+        protocol=live_name,
+        workload=model.kind,
+        packets=model.packets,
+        payload_size=model.packet_bytes,
+        group=model.group,
+        seed=spec.seed,
+    )
+    if model.kind == "kv":
+        kwargs.update(kv_keys=model.keys,
+                      kv_zipf_s=model.zipf_s,
+                      kv_read_fraction=model.read_fraction,
+                      kv_replicas=model.replicas,
+                      kv_write_quorum=model.write_quorum,
+                      kv_read_quorum=model.read_quorum)
+    elif model.kind == "pubsub":
+        kwargs.update(topics=model.topics)
+    kwargs.update(overrides)
+    if "duration" not in kwargs:
+        # Wall-clock seconds are not simulated seconds: cap the live horizon
+        # so a 300s-simulated spec does not hold real sockets for 5 minutes,
+        # but keep the workload window clear of the join wave.
+        config_probe = LiveClusterConfig(**dict(kwargs, duration=1e9))
+        kwargs["duration"] = min(float(spec.duration),
+                                 config_probe.workload_start + 10.0)
+    return LiveCluster(LiveClusterConfig(**kwargs)).run()
+
+
+def run(spec, *, seeds: Union[int, Sequence[int]] = 1, jobs: int = 1,
+        shards: int = 1, mode: str = "sim", **live_overrides):
+    """Execute *spec* and return its results, whatever the mode.
+
+    :param spec: a :class:`~repro.eval.scenario.ScenarioSpec`.
+    :param seeds: ``1`` runs the spec's own seed and returns a
+        :class:`~repro.eval.scenario.ScenarioResult`; an integer ``n > 1``
+        replicates over ``spec.seed .. spec.seed + n - 1``; an explicit
+        sequence runs exactly those seeds.  Multi-seed runs return a
+        :class:`~repro.eval.runner.ScenarioSummary`.
+    :param jobs: parallel worker processes across seeds (multi-seed only).
+    :param shards: simulation kernel shards per run (``run_sharded``).
+    :param mode: ``"sim"`` (default) or ``"live"`` — real processes over
+        UDP sockets, returning a :class:`~repro.live.LiveClusterResult`.
+    :param live_overrides: live mode only — forwarded to
+        :class:`~repro.live.LiveClusterConfig` (``duration``, ``base_port``,
+        ``join_spacing``, ...).
+    """
+    if mode not in ("sim", "live"):
+        raise ValueError(f"unknown mode {mode!r} (sim or live)")
+    if mode == "live":
+        if shards != 1 or jobs != 1 or seeds != 1:
+            raise ValueError(
+                "live mode boots one real deployment: seeds, jobs, and "
+                "shards do not apply (override the config instead)")
+        return _run_live(spec, live_overrides)
+    if live_overrides:
+        raise ValueError(
+            f"unknown options for sim mode: {sorted(live_overrides)}")
+    if isinstance(seeds, int):
+        if seeds < 1:
+            raise ValueError("seeds must be >= 1")
+        if seeds == 1:
+            return spec.run(shards=shards)
+        seed_list = [spec.seed + offset for offset in range(seeds)]
+    else:
+        seed_list = list(seeds)
+    from .eval.runner import ScenarioRunner
+    return ScenarioRunner(spec, seed_list, shards=shards, jobs=jobs).run()

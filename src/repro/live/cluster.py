@@ -5,7 +5,8 @@
 running one :class:`~repro.runtime.node.MacedonNode` with the *unchanged*
 registry-compiled protocol stack on a :class:`~repro.live.driver.LiveDriver`
 clock and a :class:`~repro.transport.udp.SocketUdpNetwork` socket, drives a
-staggered join wave plus a route or multicast workload, and aggregates every
+staggered join wave plus a route, multicast, KV, or pub/sub workload, and
+aggregates every
 process's observations into the same metric shapes the scenario runner
 reports (``workload.success_ratio``, ``workload.latency_*``,
 ``sim.events_processed``, …) so simulated and live runs of one specification
@@ -26,7 +27,8 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from ..eval.metrics import correct_successor_fraction, mean, percentile
+from ..eval.metrics import (correct_successor_fraction, mean, percentile,
+                            phantom_reads, replica_coverage)
 from ..eval.scenario import ScenarioResult
 
 #: Stream id stamped on workload probes so application traffic of the
@@ -58,10 +60,20 @@ class LiveClusterConfig:
     settle: float = 1.0
     #: Seconds after the workload window for in-flight deliveries to land.
     drain: float = 1.0
-    workload: str = "route"           # "route" | "multicast"
-    packets: int = 64                 # total probes (route) or sends (multicast)
+    workload: str = "route"           # "route" | "multicast" | "kv" | "pubsub"
+    packets: int = 64                 # total probes/sends/ops/publishes
     payload_size: int = 1000
     group: int = 4040                 # multicast group key
+    # ---- workload="kv" knobs (mirror WorkloadModel's)
+    kv_keys: int = 64
+    kv_zipf_s: float = 1.1
+    kv_read_fraction: float = 0.7
+    kv_replicas: int = 3
+    kv_write_quorum: int = 2
+    kv_read_quorum: int = 2
+    # ---- workload="pubsub" knobs; every node subscribes to every topic
+    #      (live fanout sampling would need cross-process agreement).
+    topics: int = 4
     seed: int = 1
     host: str = "127.0.0.1"
     base_port: int = 47000
@@ -77,9 +89,10 @@ class LiveClusterConfig:
     def __post_init__(self) -> None:
         if self.nodes < 1:
             raise LiveClusterError("a live cluster needs at least one node")
-        if self.workload not in ("route", "multicast"):
+        if self.workload not in ("route", "multicast", "kv", "pubsub"):
             raise LiveClusterError(
-                f"unknown workload {self.workload!r} (route or multicast)")
+                f"unknown workload {self.workload!r} "
+                f"(route, multicast, kv, or pubsub)")
         if self.workload_start >= self.duration:
             raise LiveClusterError(
                 f"duration {self.duration}s leaves no workload window: the "
@@ -185,18 +198,30 @@ async def _node_main(config: LiveClusterConfig, index: int, barrier) -> dict:
         duplicates = 0
         delivered_seqnos: set[int] = set()
         latencies: list[float] = []
+        kv_app = ps_app = None
 
-        def on_deliver(payload, size, mtype) -> None:
-            nonlocal duplicates
-            if isinstance(payload, AppPayload) \
-                    and payload.stream_id == LIVE_WORKLOAD_STREAM:
-                if payload.seqno in delivered_seqnos:
-                    duplicates += 1
-                    return
-                delivered_seqnos.add(payload.seqno)
-                latencies.append(time.time() - payload.sent_at)
+        if config.workload in ("route", "multicast"):
+            def on_deliver(payload, size, mtype) -> None:
+                nonlocal duplicates
+                if isinstance(payload, AppPayload) \
+                        and payload.stream_id == LIVE_WORKLOAD_STREAM:
+                    if payload.seqno in delivered_seqnos:
+                        duplicates += 1
+                        return
+                    delivered_seqnos.add(payload.seqno)
+                    latencies.append(time.time() - payload.sent_at)
 
-        node.macedon_register_handlers(deliver=on_deliver)
+            node.macedon_register_handlers(deliver=on_deliver)
+        elif config.workload == "kv":
+            from ..apps.kv import KvStore
+            kv_app = KvStore(node, replicas=config.kv_replicas,
+                             write_quorum=config.kv_write_quorum,
+                             read_quorum=config.kv_read_quorum,
+                             op_bytes=config.payload_size,
+                             stream_id=LIVE_WORKLOAD_STREAM)
+        else:
+            from ..apps.pubsub import PubSub
+            ps_app = PubSub(node, stream_id=LIVE_WORKLOAD_STREAM)
 
         # --- join wave (bootstrap at t=0, the rest staggered) -------------
         join_at = 0.0 if index == 0 else index * config.join_spacing
@@ -208,6 +233,8 @@ async def _node_main(config: LiveClusterConfig, index: int, barrier) -> dict:
         seqno_base = config.seqno_base(index)
         rng = driver.fork_rng(f"live-workload:{address}")
         window = config.duration - config.workload_start
+
+        kv_issued_writes: list[tuple[int, int]] = []
 
         def send_probe(seqno: int) -> None:
             nonlocal sent
@@ -222,24 +249,97 @@ async def _node_main(config: LiveClusterConfig, index: int, barrier) -> dict:
                 node.macedon_multicast(config.group, payload,
                                        config.payload_size)
 
-        if config.workload == "multicast":
+        if config.workload == "kv":
+            # The key working set must be identical on every node, so it
+            # comes from a shared-label RNG fork (same seed everywhere);
+            # which keys this node's ops hit stays on the per-node stream.
+            import bisect
+            keys_rng = driver.fork_rng("live-kv-keys")
+            key_space = node.highest_agent.key_space
+            key_ids = [keys_rng.randrange(key_space.size)
+                       for _ in range(config.kv_keys)]
+            weights = [1.0 / (rank + 1) ** config.kv_zipf_s
+                       for rank in range(config.kv_keys)]
+            total_weight = sum(weights)
+            zipf_cdf: list[float] = []
+            acc = 0.0
+            for weight in weights:
+                acc += weight / total_weight
+                zipf_cdf.append(acc)
+            zipf_cdf[-1] = 1.0
+
+            def send_op(seqno: int) -> None:
+                nonlocal sent
+                sent += 1
+                key = key_ids[bisect.bisect_left(zipf_cdf, rng.random())]
+                if rng.random() < config.kv_read_fraction:
+                    kv_app.get(key, seqno)
+                else:
+                    # Versions double as values: the globally unique seqno.
+                    kv_issued_writes.append((key, seqno))
+                    kv_app.put(key, seqno, seqno)
+
+            send = send_op
+        elif config.workload == "pubsub":
             group_setup = max(0.0, config.workload_start - config.settle)
-            if index == 0:
-                driver.schedule(group_setup, node.macedon_create_group,
-                                config.group, label="live-create-group")
-            else:
-                driver.schedule(group_setup + 0.2, node.macedon_join,
-                                config.group, label="live-join-group")
+            for topic in range(config.topics):
+                if index == 0:
+                    driver.schedule(group_setup, ps_app.create_topic, topic,
+                                    label="live-create-topic")
+                driver.schedule(group_setup + 0.2 + 0.01 * index,
+                                ps_app.subscribe, topic,
+                                label="live-subscribe")
+
+            def send_publish(seqno: int) -> None:
+                nonlocal sent
+                sent += 1
+                ps_app.publish(seqno % config.topics, seqno,
+                               size=config.payload_size)
+
+            send = send_publish
+        else:
+            if config.workload == "multicast":
+                group_setup = max(0.0, config.workload_start - config.settle)
+                if index == 0:
+                    driver.schedule(group_setup, node.macedon_create_group,
+                                    config.group, label="live-create-group")
+                else:
+                    driver.schedule(group_setup + 0.2, node.macedon_join,
+                                    config.group, label="live-join-group")
+            send = send_probe
         if probes:
             gap = window / (probes + 1)
             for offset in range(probes):
                 driver.schedule(config.workload_start + (offset + 1) * gap,
-                                send_probe, seqno_base + offset,
+                                send, seqno_base + offset,
                                 label="live-probe")
 
         await driver.run_for(config.total_runtime)
 
         # --- report --------------------------------------------------------
+        kv_extra = ps_extra = None
+        if config.workload == "kv":
+            # A KV "delivery" is one completed client op; seqnos are globally
+            # unique, so the per-node completed sets union cleanly upstream.
+            for record in kv_app.completed:
+                delivered_seqnos.add(record.seqno)
+                latencies.append(record.latency)
+            kv_app._check_epoch()
+            kv_extra = {
+                "records": [(record.seqno, 0 if record.kind == "put" else 1,
+                             record.key, record.version, record.acks)
+                            for record in sorted(kv_app.completed,
+                                                 key=lambda r: r.seqno)],
+                "issued_writes": kv_issued_writes,
+                "store": sorted(kv_app.store.items()),
+            }
+        elif config.workload == "pubsub":
+            duplicates = ps_app.duplicates
+            for delivery in ps_app.deliveries:
+                delivered_seqnos.add(delivery.seqno)
+                latencies.append(delivery.latency)
+            ps_extra = {"deliveries": len(ps_app.deliveries)}
+
         transport_totals = {"messages_sent": 0, "messages_delivered": 0,
                             "segments_sent": 0, "segments_received": 0,
                             "retransmissions": 0, "drops": 0}
@@ -260,6 +360,10 @@ async def _node_main(config: LiveClusterConfig, index: int, barrier) -> dict:
             "transport": transport_totals,
             "socket": network.stats(),
         }
+        if kv_extra is not None:
+            report["kv"] = kv_extra
+        if ps_extra is not None:
+            report["pubsub"] = ps_extra
         highest = node.highest_agent
         if hasattr(highest, "successor"):
             report["ring"] = {"my_key": highest.my_key,
@@ -422,6 +526,41 @@ class LiveCluster:
             "socket.decode_errors": float(sum(
                 report["socket"]["decode_errors"] for report in per_node)),
         }
+        if config.workload == "kv":
+            # success_ratio already reads as quorum success (distinct
+            # completed ops over ops issued); add the consistency metrics
+            # that are sound across processes.  Staleness needs a
+            # strictly-before clock, which wall clocks across processes do
+            # not give us, so live reports the version-space checks only.
+            records = []
+            issued_writes: set[tuple[int, int]] = set()
+            stores = []
+            for report in per_node:
+                records.extend(report["kv"]["records"])
+                issued_writes.update(
+                    (key, version)
+                    for key, version in report["kv"]["issued_writes"])
+                stores.append(dict(report["kv"]["store"]))
+            reads = [(key, version) for _, kind, key, version, _ in records
+                     if kind == 1]
+            metrics["workload.completed"] = float(len(records))
+            metrics["workload.puts"] = float(sum(
+                1 for _, kind, *_ in records if kind == 0))
+            metrics["workload.gets"] = float(len(reads))
+            metrics["workload.quorum_success"] = \
+                metrics["workload.success_ratio"]
+            metrics["workload.phantom_reads"] = float(
+                phantom_reads(reads, issued_writes))
+            latest_writes: dict[int, int] = {}
+            for key, version in issued_writes:
+                latest_writes[key] = max(latest_writes.get(key, -1), version)
+            metrics["workload.replica_coverage"] = replica_coverage(
+                stores, latest_writes, config.kv_replicas)
+        elif config.workload == "pubsub":
+            expected = sent * max(config.nodes - 1, 0)
+            metrics["workload.expected"] = float(expected)
+            metrics["workload.coverage"] = \
+                deliveries / expected if expected else 0.0
         rings = [report["ring"] for report in per_node if "ring" in report]
         if len(rings) == len(per_node) and rings:
             membership = [(ring["my_key"], report["address"])

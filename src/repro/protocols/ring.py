@@ -69,6 +69,7 @@ class RingDhtAgent(Agent):
         MessageType("notify_pred", ()),
         MessageType("data", (FieldSpec("target", "key"),
                              FieldSpec("hops", "int"))),
+        MessageType("ipdata", ()),
     )
     STATE_VARS = (
         StateVarSpec("successor", "var", "ipaddr"),
@@ -81,6 +82,7 @@ class RingDhtAgent(Agent):
     TRANSITIONS = (
         TransitionSpec("api", "init", "any", "t_init"),
         TransitionSpec("api", "route", "stable", "t_route"),
+        TransitionSpec("api", "routeIP", "any", "t_route_ip"),
         TransitionSpec("api", "error", "any", "t_error"),
         TransitionSpec("recv", "find_succ", "stable", "t_find_succ"),
         TransitionSpec("recv", "succ_found", "any", "t_succ_found"),
@@ -88,6 +90,7 @@ class RingDhtAgent(Agent):
         TransitionSpec("recv", "state_reply", "stable", "t_state_reply"),
         TransitionSpec("recv", "notify_pred", "stable", "t_notify_pred"),
         TransitionSpec("recv", "data", "stable", "t_data"),
+        TransitionSpec("recv", "ipdata", "any", "t_ipdata"),
         TransitionSpec("timer", "stabilize", "stable", "t_stabilize"),
         TransitionSpec("timer", "join_retry", "any", "t_join_retry"),
     )
@@ -258,6 +261,14 @@ class RingDhtAgent(Agent):
 
     def t_route(self, ctx: TransitionContext) -> None:
         self._route_data(ctx.dest_key, ctx.payload, ctx.payload_size, MAX_HOPS)
+
+    def t_route_ip(self, ctx: TransitionContext) -> None:
+        """Direct IP delivery — the MACEDON routeIP data call (one hop)."""
+        self.send_msg("ipdata", ctx.dest, payload=ctx.payload,
+                      payload_size=ctx.payload_size)
+
+    def t_ipdata(self, ctx: TransitionContext) -> None:
+        self.upcall_deliver(ctx.payload, ctx.payload_size, "ipdata")
 
     def t_data(self, ctx: TransitionContext) -> None:
         self._route_data(ctx.field("target"), ctx.payload, ctx.payload_size,

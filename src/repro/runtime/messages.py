@@ -378,6 +378,10 @@ assert _WRAPPED_HEADER.size <= MESSAGE_HEADER_BYTES
 
 _U32 = struct.Struct("!I")
 _APP_PAYLOAD = struct.Struct("!qdQqq")   # seqno, sent_at, source, size, stream_id
+# op, key, version, seqno, sent_at, source, replier, size, stream_id
+_KV_PAYLOAD = struct.Struct("!BIqqdQQqq")
+# topic, seqno, sent_at, source, size, stream_id
+_TOPIC_PAYLOAD = struct.Struct("!IqdQqq")
 
 WIRE_VERSION = 1
 
@@ -396,6 +400,8 @@ _P_INT = 6
 _P_FLOAT = 7
 _P_BOOL = 8
 _P_HEARTBEAT = 9
+_P_KV = 10
+_P_TOPIC = 11
 
 
 def wire_id(name: str) -> int:
@@ -498,6 +504,8 @@ class WireCodec:
         # scope: node/apps import this module).
         self._app_payload: Optional[type] = None
         self._heartbeat: Optional[type] = None
+        self._kv_payload: Optional[type] = None
+        self._topic_payload: Optional[type] = None
 
     @classmethod
     def for_agents(cls, agent_classes) -> "WireCodec":
@@ -529,10 +537,12 @@ class WireCodec:
 
     def _payload_classes(self) -> tuple[type, type]:
         if self._app_payload is None:
-            from ..apps.payload import AppPayload
+            from ..apps.payload import AppPayload, KvPayload, TopicPayload
             from .node import _Heartbeat
             self._app_payload = AppPayload
             self._heartbeat = _Heartbeat
+            self._kv_payload = KvPayload
+            self._topic_payload = TopicPayload
         return self._app_payload, self._heartbeat
 
     # ---------------------------------------------------------------- fields
@@ -749,10 +759,23 @@ class WireCodec:
         if isinstance(payload, heartbeat):
             return _P_HEARTBEAT, struct.pack(
                 "!?", payload.kind == "pong")
+        if isinstance(payload, self._kv_payload):
+            return _P_KV, _KV_PAYLOAD.pack(
+                payload.op & 0xFF, payload.key & 0xFFFFFFFF, payload.version,
+                payload.seqno, payload.sent_at,
+                payload.source & 0xFFFFFFFFFFFFFFFF,
+                payload.replier & 0xFFFFFFFFFFFFFFFF,
+                payload.size, payload.stream_id)
+        if isinstance(payload, self._topic_payload):
+            return _P_TOPIC, _TOPIC_PAYLOAD.pack(
+                payload.topic & 0xFFFFFFFF, payload.seqno, payload.sent_at,
+                payload.source & 0xFFFFFFFFFFFFFFFF,
+                payload.size, payload.stream_id)
         raise WireError(
             f"cannot encode payload of type {type(payload).__name__}; the "
             f"live wire supports None, bytes, str, int, float, bool, "
-            f"AppPayload, Message, and WrappedMessage payloads")
+            f"AppPayload, KvPayload, TopicPayload, Message, and "
+            f"WrappedMessage payloads")
 
     def _decode_payload_content(self, ptype: int, data: bytes,
                                 offset: int) -> tuple[Any, int]:
@@ -792,6 +815,21 @@ class WireCodec:
                 (is_pong,) = struct.unpack_from("!?", data, offset)
                 _, heartbeat = self._payload_classes()
                 return heartbeat(kind="pong" if is_pong else "ping"), 1
+            if ptype == _P_KV:
+                (op, key, version, seqno, sent_at, source, replier, size,
+                 stream_id) = _KV_PAYLOAD.unpack_from(data, offset)
+                self._payload_classes()
+                return (self._kv_payload(
+                    op=op, key=key, version=version, seqno=seqno,
+                    sent_at=sent_at, source=source, replier=replier,
+                    size=size, stream_id=stream_id), _KV_PAYLOAD.size)
+            if ptype == _P_TOPIC:
+                topic, seqno, sent_at, source, size, stream_id = \
+                    _TOPIC_PAYLOAD.unpack_from(data, offset)
+                self._payload_classes()
+                return (self._topic_payload(
+                    topic=topic, seqno=seqno, sent_at=sent_at, source=source,
+                    size=size, stream_id=stream_id), _TOPIC_PAYLOAD.size)
         except struct.error as exc:
             raise WireError(f"truncated payload (type {ptype}): {exc}") from exc
         raise WireError(f"unknown payload type tag {ptype} on the wire")

@@ -194,6 +194,20 @@ class MacedonNode:
 
     def macedon_register_handlers(self, deliver=None, forward=None,
                                   notify=None, upcall=None) -> None:
+        """Install the application's upcall handlers.
+
+        Accepts either the four callables or, as a shim for the historical
+        tuple wiring, a ready-made :class:`Handlers` instance positionally:
+        ``macedon_register_handlers(Handlers(...))``.  New applications
+        should subclass :class:`repro.apps.AppBase` instead.
+        """
+        if isinstance(deliver, Handlers):
+            if forward is not None or notify is not None or upcall is not None:
+                raise TypeError(
+                    "pass either a Handlers instance or individual handlers, "
+                    "not both")
+            self.handlers = deliver
+            return
         self.handlers = Handlers(deliver=deliver, forward=forward,
                                  notify=notify, upcall=upcall)
 

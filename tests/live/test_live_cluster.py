@@ -56,3 +56,61 @@ def test_four_node_chord_cluster_routes_over_real_sockets():
     # Deliveries carried wall-clock latencies.
     assert metrics["workload.latency_mean"] > 0.0
     assert metrics["workload.latency_p95"] >= metrics["workload.latency_mean"] * 0.1
+
+
+def test_live_kv_quorum_over_real_sockets():
+    config = LiveClusterConfig(nodes=4, duration=5.0, join_spacing=0.1,
+                               settle=0.8, workload="kv", packets=24,
+                               seed=7, base_port=49180)
+    outcome = LiveCluster(config).run()
+    metrics = outcome.metrics
+    assert metrics["nodes.joined"] == 4.0
+    assert metrics["workload.sent"] == 24.0
+    assert metrics["workload.quorum_success"] >= 0.9
+    assert metrics["workload.phantom_reads"] == 0.0
+    assert metrics["workload.puts"] + metrics["workload.gets"] \
+        == metrics["workload.completed"]
+    assert metrics["workload.replica_coverage"] >= 0.9
+    assert metrics["nodes.callback_errors"] == 0.0
+
+
+def test_live_pubsub_full_coverage():
+    config = LiveClusterConfig(nodes=4, duration=6.0, join_spacing=0.1,
+                               settle=1.2, workload="pubsub", packets=12,
+                               topics=3, protocol="scribe", seed=7,
+                               base_port=49200)
+    outcome = LiveCluster(config).run()
+    metrics = outcome.metrics
+    assert metrics["workload.sent"] == 12.0
+    # Everyone subscribes to every topic; the publisher never self-delivers.
+    assert metrics["workload.expected"] == 36.0
+    assert metrics["workload.coverage"] >= 0.9
+    assert metrics["workload.duplicates"] == 0.0
+
+
+def test_same_kv_spec_runs_live_via_facade():
+    """The acceptance shape: the simulation KV ScenarioSpec, unmodified,
+    through ``repro.run(spec, mode="live")``."""
+    import repro
+    from repro.eval.library import resolve_protocol
+    from repro.eval.scenario import ChurnModel, ScenarioSpec, WorkloadModel
+
+    spec = ScenarioSpec(
+        name="facade-kv-live",
+        agents=resolve_protocol("chord"),
+        num_nodes=4,
+        duration=80.0,
+        seed=5,
+        models=(ChurnModel(join="staggered", join_spacing=0.5),
+                WorkloadModel(kind="kv", start=40.0, packets=16, gap=1.0,
+                              keys=16, read_fraction=0.5)),
+    )
+    outcome = repro.run(spec, mode="live", base_port=49220,
+                        join_spacing=0.1, settle=0.8, duration=5.0)
+    metrics = outcome.metrics
+    assert metrics["workload.sent"] == 16.0
+    assert metrics["workload.quorum_success"] >= 0.9
+    assert metrics["workload.phantom_reads"] == 0.0
+    # The live config inherited the spec's quorum knobs and population.
+    assert outcome.result.name == "live-chord-kv"
+    assert metrics["nodes.count"] == 4.0

@@ -315,3 +315,64 @@ def test_wire_ids_are_stable_and_distinct_across_bundle():
                 type_id = wire_id(message_type.name)
                 assert message_ids.setdefault(type_id, message_type.name) == \
                     message_type.name
+
+
+def test_kv_and_topic_payloads_round_trip_at_model_size():
+    """The application-layer payloads (replicated KV, topic pub/sub) encode
+    to exactly the size model and round-trip field-for-field — including
+    negative versions (-1 = "no value") and max-width keys/seqnos."""
+    from repro.apps.payload import KV_GET_REPLY, KvPayload, TopicPayload
+
+    stack, codec = _stack_and_codec("chord")
+    data_type = {t.name: t for t in stack[0].MESSAGE_TYPES}["data"]
+    payloads = [
+        KvPayload(op=KV_GET_REPLY, key=2**32 - 1, version=-1, seqno=2**60,
+                  sent_at=12.25, source=3, replier=9, size=100,
+                  stream_id=7001),
+        KvPayload(op=0, key=0, version=2**62, seqno=-5, sent_at=0.0,
+                  source=1, size=4096, stream_id=0),
+        TopicPayload(topic=2**31, seqno=-1, sent_at=3.5, source=4,
+                     size=500, stream_id=7001),
+        TopicPayload(topic=0, seqno=2**62, sent_at=-1.0, source=2**60),
+    ]
+    for payload in payloads:
+        message = Message(type=data_type, fields={"target": 1, "hops": 2},
+                          payload=payload, payload_size=payload.size,
+                          protocol="chord")
+        encoded = codec.encode_message(message)
+        assert len(encoded) == message.size, payload
+        decoded, end = codec.decode_message(encoded)
+        assert end == len(encoded)
+        assert decoded.payload == payload
+        assert decoded.payload_size == payload.size
+
+
+def test_kv_and_topic_payload_blob_sizes_pinned():
+    """The packed struct widths are wire format: changing them breaks mixed
+    sim/live fleets, so the exact byte counts are pinned here."""
+    from repro.runtime.messages import _KV_PAYLOAD, _TOPIC_PAYLOAD
+
+    assert _KV_PAYLOAD.size == 61
+    assert _TOPIC_PAYLOAD.size == 44
+
+
+def test_ring_ipdata_round_trips_with_kv_payload():
+    """The hand-written ring's routeIP message (``ipdata``) carries KV
+    replies between live processes; it must encode at model size too."""
+    from repro.apps.payload import KV_PUT_ACK, KvPayload
+    from repro.protocols.ring import ring_agent
+
+    agent_class = ring_agent()
+    codec = WireCodec.for_agents([agent_class])
+    ipdata = {t.name: t for t in agent_class.MESSAGE_TYPES}["ipdata"]
+    payload = KvPayload(op=KV_PUT_ACK, key=77, version=12, seqno=34,
+                        sent_at=5.5, source=2, replier=6, size=100,
+                        stream_id=7001)
+    message = Message(type=ipdata, fields={}, payload=payload,
+                      payload_size=payload.size,
+                      protocol=agent_class.PROTOCOL)
+    encoded = codec.encode_message(message)
+    assert len(encoded) == message.size
+    decoded, _ = codec.decode_message(encoded)
+    assert decoded.type.name == "ipdata"
+    assert decoded.payload == payload
