@@ -7,16 +7,25 @@ UDP datagrams (see docs/LIVE.md), driven through a staggered join wave and a
 route, multicast, replicated-KV, or pub/sub workload, and scored with the
 same metric shapes the scenario runner reports.
 
+``--kill INDEX:AT[:RESPAWN_AFTER]`` injects real faults: the coordinator
+SIGKILLs node INDEX's process AT seconds after the cluster clock zero and
+(with RESPAWN_AFTER) respawns it under the supervisor's restart-epoch
+machinery.  ``--min-post-fault-success`` then gates on the ratio for probes
+sent after the last fault plus the settle window — the "kill a node
+mid-run, recover, still route" check CI runs.
+
 Usage::
 
     PYTHONPATH=src python scripts/run_live.py --nodes 8 --duration 5
-    PYTHONPATH=src python scripts/run_live.py --nodes 32 --duration 15 \
-        --packets 200 --min-success 0.9
+    PYTHONPATH=src python scripts/run_live.py --nodes 8 --duration 12 \
+        --kill 3:5.0:1.0 --min-post-fault-success 0.9
 
 Prints one JSON document (aggregate metrics plus per-node summaries) and
-exits non-zero if the workload success ratio lands below ``--min-success`` —
-which is how CI's live-mode smoke job gates deployability without touching
-the benchmark history (this script never writes BENCH_core.json).
+exits non-zero if the workload success ratio lands below ``--min-success``,
+the post-fault ratio below ``--min-post-fault-success``, any live invariant
+is violated, or any node's driver swallowed callback exceptions — which is
+how CI's live smoke jobs gate deployability without touching the benchmark
+history (this script never writes BENCH_core.json).
 """
 
 from __future__ import annotations
@@ -29,7 +38,24 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.live import LiveCluster, LiveClusterConfig  # noqa: E402
+from repro.live import (KillNode, LiveCluster, LiveClusterConfig,  # noqa: E402
+                        LiveClusterError)
+
+
+def parse_kill(text: str) -> KillNode:
+    parts = text.split(":")
+    if len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError(
+            f"--kill wants INDEX:AT[:RESPAWN_AFTER], got {text!r}")
+    try:
+        index = int(parts[0])
+        at = float(parts[1])
+        respawn = float(parts[2]) if len(parts) == 3 else None
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"--kill wants numbers in INDEX:AT[:RESPAWN_AFTER], "
+            f"got {text!r}") from exc
+    return KillNode(at=at, index=index, respawn_after=respawn)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -65,6 +91,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--fix-period", type=float, default=0.5,
                         help="chord fix-fingers period in seconds; 0 keeps "
                              "the specification default (default 0.5)")
+    parser.add_argument("--startup-timeout", type=float, default=60.0,
+                        help="seconds each process gets to import, compile, "
+                             "and reach the start barrier (default 60)")
+    parser.add_argument("--kill", type=parse_kill, action="append",
+                        default=[], metavar="INDEX:AT[:RESPAWN_AFTER]",
+                        help="SIGKILL node INDEX at AT seconds; with "
+                             "RESPAWN_AFTER, the supervisor respawns it "
+                             "that many seconds later (repeatable)")
+    parser.add_argument("--restart-budget", type=int, default=3,
+                        help="supervised respawns per node before it is "
+                             "accounted down (default 3)")
+    parser.add_argument("--post-fault-settle", type=float, default=2.0,
+                        help="recovery window after the last fault before "
+                             "probes count toward the post-fault ratio "
+                             "(default 2.0)")
     parser.add_argument("--kv-keys", type=int, default=64,
                         help="kv: working-set size (default 64)")
     parser.add_argument("--kv-read-fraction", type=float, default=0.7,
@@ -80,6 +121,9 @@ def main(argv: list[str] | None = None) -> int:
                              "every topic (default 4)")
     parser.add_argument("--min-success", type=float, default=None,
                         help="exit 1 if workload success ratio is below this")
+    parser.add_argument("--min-post-fault-success", type=float, default=None,
+                        help="exit 1 if the post-fault success ratio is "
+                             "below this (requires --kill or other faults)")
     parser.add_argument("--per-node", action="store_true",
                         help="include full per-node reports in the output")
     args = parser.parse_args(argv)
@@ -100,6 +144,10 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         base_port=args.base_port,
         fix_period=args.fix_period or None,
+        startup_timeout=args.startup_timeout,
+        faults=tuple(sorted(args.kill, key=lambda fault: fault.at)),
+        restart_budget=args.restart_budget,
+        post_fault_settle=args.post_fault_settle,
         kv_keys=args.kv_keys,
         kv_read_fraction=args.kv_read_fraction,
         kv_replicas=args.kv_replicas,
@@ -107,34 +155,66 @@ def main(argv: list[str] | None = None) -> int:
         kv_read_quorum=args.kv_read_quorum,
         topics=args.topics,
     )
-    outcome = LiveCluster(config).run()
+    try:
+        outcome = LiveCluster(config).run()
+    except LiveClusterError as exc:
+        # Startup diagnostics, driver callback errors, dead workers: the
+        # message already names the culprit — no traceback needed.
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+
+    from repro.eval.invariants import check_live_invariants
+    violations = check_live_invariants(outcome)
 
     document = {
         "name": outcome.result.name,
         "nodes": args.nodes,
         "duration": args.duration,
         "packets": packets,
+        "kills": [[fault.index, fault.at, fault.respawn_after]
+                  for fault in config.faults],
         "metrics": outcome.metrics,
+        "invariant_violations": [str(violation) for violation in violations],
     }
     if args.per_node:
         document["per_node"] = outcome.per_node
     else:
         document["per_node"] = [
-            {key: report[key] for key in
-             ("address", "state", "sent", "delivered")}
+            {key: report.get(key) for key in
+             ("address", "state", "incarnation", "sent", "delivered")}
             for report in outcome.per_node
         ]
     print(json.dumps(document, indent=2))
 
+    failed = False
+    for violation in violations:
+        print(f"FAILED: invariant {violation}", file=sys.stderr)
+        failed = True
     if args.min_success is not None:
         success = outcome.metrics["workload.success_ratio"]
         if success < args.min_success:
             print(f"FAILED: workload success ratio {success:.3f} < "
                   f"required {args.min_success}", file=sys.stderr)
-            return 1
-        print(f"OK: workload success ratio {success:.3f} >= "
-              f"{args.min_success}", file=sys.stderr)
-    return 0
+            failed = True
+        else:
+            print(f"OK: workload success ratio {success:.3f} >= "
+                  f"{args.min_success}", file=sys.stderr)
+    if args.min_post_fault_success is not None:
+        post = outcome.metrics.get("workload.post_fault_success_ratio")
+        if post is None:
+            print("FAILED: no post-fault probes were sent (no faults, or "
+                  "the fault horizon leaves no workload after the settle "
+                  "window — lengthen --duration or kill earlier)",
+                  file=sys.stderr)
+            failed = True
+        elif post < args.min_post_fault_success:
+            print(f"FAILED: post-fault success ratio {post:.3f} < "
+                  f"required {args.min_post_fault_success}", file=sys.stderr)
+            failed = True
+        else:
+            print(f"OK: post-fault success ratio {post:.3f} >= "
+                  f"{args.min_post_fault_success}", file=sys.stderr)
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -133,11 +133,20 @@ def _gen_join_model(rng: random.Random, num_nodes: int,
 
 def _gen_fault_model(rng: random.Random, num_nodes: int,
                      fault_end: float) -> ScenarioModel:
-    kind = rng.choice(("correlated-crash", "flapping", "degrade"))
+    kind = rng.choice(("correlated-crash", "crash", "flapping", "degrade"))
     if kind == "correlated-crash":
         at = round(rng.uniform(25.0, fault_end - 35.0), 2)
         recover = round(rng.uniform(15.0, 30.0), 2)
         return CorrelatedCrashModel(at=at, racks=1, recover_after=recover)
+    if kind == "crash":
+        # An uncorrelated fail-stop kill of a sampled fraction — unlike the
+        # rack model, this one has a live equivalent (real SIGKILLs), so it
+        # keeps the differential harness supplied with runnable artifacts.
+        at = round(rng.uniform(25.0, fault_end - 35.0), 2)
+        recover = (round(rng.uniform(10.0, 25.0), 2)
+                   if rng.random() < 0.75 else None)
+        return CrashModel(at=at, fraction=rng.choice((0.2, 0.3)),
+                          recover_after=recover)
     if kind == "flapping":
         period = round(rng.uniform(10.0, 18.0), 2)
         # Cap cycles so the last heal (at + cycles*period) fits before the
@@ -180,6 +189,20 @@ def generate_spec(seed: int,
     models: list[ScenarioModel] = [_gen_join_model(rng, num_nodes, fault_end)]
     for _ in range(rng.randint(0, config.max_fault_models)):
         models.append(_gen_fault_model(rng, num_nodes, fault_end))
+    if rng.random() < 0.2 and fault_end >= 70.0:
+        # A correlated degrade+crash combo: some hosts limp (degraded access
+        # links), then a kill lands mid-limp — the compound failure mode
+        # where straggler mitigation and failure detection fight each other.
+        degrade_at = round(rng.uniform(25.0, fault_end - 45.0), 2)
+        degrade_span = round(rng.uniform(25.0, 40.0), 2)
+        models.append(DegradeModel(
+            at=degrade_at, restore_after=degrade_span,
+            host_fraction=0.25,
+            bandwidth_factor=round(rng.uniform(0.1, 0.4), 2),
+            latency_factor=round(rng.uniform(3.0, 6.0), 2)))
+        models.append(CrashModel(
+            at=round(degrade_at + degrade_span / 2, 2), fraction=0.2,
+            recover_after=round(rng.uniform(10.0, 20.0), 2)))
     models.append(WorkloadModel(kind="route", source=-1, start=15.0,
                                 packets=max(10, int((duration - 20.0) / 2.5)),
                                 gap=2.5))
@@ -401,6 +424,15 @@ def write_artifact(path: Path, *, seed: int, original: ScenarioSpec,
                    violations: Sequence[InvariantViolation],
                    error: Optional[str] = None) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
+    # Tag whether the shrunk spec can also boot as a live deployment, so
+    # the differential harness (scripts/run_diff.py --artifact) can pick
+    # live-runnable repros without trial-compiling every file.  Tagging is
+    # best-effort: a tagging failure never loses the artifact itself.
+    try:
+        from ..live.faults import live_runnable
+        runnable, blocker = live_runnable(shrunk)
+    except Exception as exc:  # pragma: no cover - defensive
+        runnable, blocker = False, f"live_runnable probe failed: {exc}"
     payload = {
         "schema": ARTIFACT_SCHEMA,
         "seed": seed,
@@ -408,6 +440,8 @@ def write_artifact(path: Path, *, seed: int, original: ScenarioSpec,
                        for v in violations],
         "spec": spec_to_dict(shrunk),
         "original_spec": spec_to_dict(original),
+        "live_runnable": runnable,
+        "live_blocker": blocker,
     }
     if error is not None:
         # An unhandled exception, not an invariant violation: the traceback

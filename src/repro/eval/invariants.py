@@ -39,6 +39,12 @@ Seven invariants:
   least one acking replica never crashed, and adoption is monotone.
   Vacuous when crashes reach the quorum size (the workload's
   ``replica_coverage`` metric still reports the degradation).
+
+Live deployments get a parallel set (:func:`check_live_invariants`) phrased
+over :class:`~repro.live.cluster.LiveClusterResult` reports — the subset of
+these properties that survives the projection through the results queue —
+so the differential harness checks the same properties on both sides of a
+sim-vs-live comparison.
 """
 
 from __future__ import annotations
@@ -292,6 +298,104 @@ def kv_write_durability(result: ScenarioResult) -> list[InvariantViolation]:
                 f"version {lost[0][1]}) held by no live node, despite only "
                 f"{total_crashes} crash(es) < write_quorum="
                 f"{state.write_quorum}"))
+    return violations
+
+
+# --------------------------------------------------------- live deployments
+#
+# A live run has no Experiment to introspect — its nodes lived in other OS
+# processes — so the live invariants are phrased over what crosses the
+# results queue: the per-node reports and the aggregated metrics of a
+# :class:`~repro.live.cluster.LiveClusterResult`.  They are the subset of
+# the simulator's properties that survive that projection, which is exactly
+# what the differential harness needs: the *same* properties, checked on
+# both sides of a sim-vs-live comparison.
+
+def live_no_duplicate_delivery(outcome) -> list[InvariantViolation]:
+    """No live receiver ever saw the same workload seqno twice."""
+    violations = []
+    for report in outcome.per_node:
+        if report.get("duplicates"):
+            violations.append(InvariantViolation(
+                "live_no_duplicate_delivery",
+                f"node {report['address']} saw {report['duplicates']} "
+                f"duplicate (receiver, seqno) deliveries"))
+    return violations
+
+
+def live_no_callback_errors(outcome) -> list[InvariantViolation]:
+    """No LiveDriver swallowed a transition/timer exception."""
+    violations = []
+    for report in outcome.per_node:
+        count = report.get("callback_error_count", 0)
+        if count:
+            first = (report.get("callback_errors") or ["?"])[0]
+            violations.append(InvariantViolation(
+                "live_no_callback_errors",
+                f"node {report['address']} recorded {count} callback "
+                f"exception(s), first: {first}"))
+    return violations
+
+
+def live_epoch_tracks_incarnation(outcome) -> list[InvariantViolation]:
+    """A node's transport epoch equals its supervisor incarnation.
+
+    The live analogue of :func:`epoch_monotonicity`: every respawn must
+    re-key the transport demux, or a peer's stale retransmission state can
+    poison the reborn node.
+    """
+    violations = []
+    for report in outcome.per_node:
+        if report.get("down") or "epoch" not in report:
+            continue
+        if report["epoch"] != report.get("incarnation", 0):
+            violations.append(InvariantViolation(
+                "live_epoch_tracks_incarnation",
+                f"node {report['address']}: transport epoch "
+                f"{report['epoch']} != incarnation "
+                f"{report.get('incarnation', 0)}"))
+    return violations
+
+
+def live_no_decode_errors(outcome) -> list[InvariantViolation]:
+    """Both ends speak our codec: no frame ever failed to decode."""
+    violations = []
+    for report in outcome.per_node:
+        errors = report.get("socket", {}).get("decode_errors", 0)
+        if errors:
+            violations.append(InvariantViolation(
+                "live_no_decode_errors",
+                f"node {report['address']} failed to decode {errors} "
+                f"frame(s) — codec mismatch or corruption on localhost"))
+    return violations
+
+
+def live_kv_no_phantom_reads(outcome) -> list[InvariantViolation]:
+    """No live quorum read returned a version nobody wrote (KV runs only)."""
+    count = outcome.metrics.get("workload.phantom_reads", 0.0)
+    if count:
+        return [InvariantViolation(
+            "live_kv_no_phantom_reads",
+            f"{count:.0f} quorum reads returned a (key, version) no client "
+            f"ever wrote")]
+    return []
+
+
+#: The live invariants check_live_invariants runs, in report order.
+LIVE_INVARIANTS: tuple[str, ...] = (
+    "live_no_duplicate_delivery", "live_no_callback_errors",
+    "live_epoch_tracks_incarnation", "live_no_decode_errors",
+    "live_kv_no_phantom_reads")
+
+
+def check_live_invariants(outcome) -> list[InvariantViolation]:
+    """Run every live invariant against a LiveClusterResult."""
+    violations = []
+    violations.extend(live_no_duplicate_delivery(outcome))
+    violations.extend(live_no_callback_errors(outcome))
+    violations.extend(live_epoch_tracks_incarnation(outcome))
+    violations.extend(live_no_decode_errors(outcome))
+    violations.extend(live_kv_no_phantom_reads(outcome))
     return violations
 
 

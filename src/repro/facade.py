@@ -21,13 +21,16 @@ the underlying entry point directly (pinned by
 Live mode maps the spec onto a :class:`~repro.live.LiveClusterConfig`:
 the protocol comes from reverse-resolving the spec's agents factory
 against :data:`repro.eval.library.PROTOCOLS`, the workload from the
-spec's first :class:`~repro.eval.scenario.WorkloadModel`.  Fault models
-do not translate (real processes fail for real), a live deployment runs
-one seed in one piece, and the live schedule (join wave + settle) replaces
-the model's ``start``/``gap`` timing — everything else carries over,
-including every KV quorum knob and the pub/sub topic count.  Keyword
-overrides pass through to :class:`~repro.live.LiveClusterConfig` (e.g.
-``base_port=48000``).
+spec's first :class:`~repro.eval.scenario.WorkloadModel`, and the fault
+models from :func:`repro.live.faults.compile_fault_models` — churn and
+crash models become real ``SIGKILL``/respawn schedules, partition and
+degrade models become socket fault-table rules, rescaled onto the live
+workload window.  A live deployment runs one seed in one piece, and the
+live schedule (join wave + settle) replaces the model's ``start``/``gap``
+timing — everything else carries over, including every KV quorum knob and
+the pub/sub topic count.  Keyword overrides pass through to
+:class:`~repro.live.LiveClusterConfig` (e.g. ``base_port=48000``), with
+``faults=()`` available to opt out of fault compilation.
 """
 
 from __future__ import annotations
@@ -89,6 +92,17 @@ def _run_live(spec, overrides: dict):
         config_probe = LiveClusterConfig(**dict(kwargs, duration=1e9))
         kwargs["duration"] = min(float(spec.duration),
                                  config_probe.workload_start + 10.0)
+    if "faults" not in kwargs:
+        # Compile the spec's fault models onto the live schedule (an
+        # explicit faults= override, including (), wins).
+        from .live.faults import LiveFaultError, compile_fault_models
+        try:
+            kwargs["faults"] = compile_fault_models(
+                spec, LiveClusterConfig(**kwargs))
+        except LiveFaultError as exc:
+            raise ScenarioError(
+                f"spec has a fault model with no live equivalent: {exc}; "
+                f"pass faults=() to run the workload without it") from exc
     return LiveCluster(LiveClusterConfig(**kwargs)).run()
 
 

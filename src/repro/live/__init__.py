@@ -14,18 +14,32 @@ package is the live half of the reproduction:
 * :class:`~repro.live.cluster.LiveCluster` — the multi-process harness that
   boots N localhost nodes, drives a join wave plus a route or multicast
   workload, and aggregates per-node observations into the same metric shapes
-  the scenario runner reports.
+  the scenario runner reports;
+* :mod:`~repro.live.faults` — the fault plane: scenario crash/churn/
+  partition/degrade models compiled onto wall-clock as real ``SIGKILL``
+  schedules (with supervised respawn) and socket fault-table rules.
 
 See docs/LIVE.md for the architecture and scripts/run_live.py for the CLI.
 """
 
 from .cluster import LiveCluster, LiveClusterConfig, LiveClusterError, LiveClusterResult
 from .driver import LiveDriver
+from .faults import (DegradeFault, KillNode, LinkCut, LiveFaultError,
+                     PartitionFault, compile_fault_models, fault_horizon,
+                     live_runnable)
 
 __all__ = [
+    "DegradeFault",
+    "KillNode",
+    "LinkCut",
     "LiveCluster",
     "LiveClusterConfig",
     "LiveClusterError",
     "LiveClusterResult",
     "LiveDriver",
+    "LiveFaultError",
+    "PartitionFault",
+    "compile_fault_models",
+    "fault_horizon",
+    "live_runnable",
 ]

@@ -94,10 +94,17 @@ class LiveDriver(Driver):
         self.error_count = 0
 
     # ------------------------------------------------------------------- time
-    def start(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
-        """Bind to *loop* (default: the running loop) and zero the clock."""
+    def start(self, loop: Optional[asyncio.AbstractEventLoop] = None, *,
+              now: float = 0.0) -> None:
+        """Bind to *loop* (default: the running loop) and set the clock.
+
+        ``now`` is the driver-clock reading at this instant — 0.0 for a
+        node booting at the cluster's barrier-aligned zero, or the elapsed
+        cluster time for a supervisor-respawned node, whose clock must
+        resume mid-timeline so cluster-relative schedules stay aligned.
+        """
         self._loop = loop if loop is not None else asyncio.get_running_loop()
-        self._t0 = self._loop.time()
+        self._t0 = self._loop.time() - now
         self._stopping = asyncio.Event()
 
     def _require_loop(self) -> asyncio.AbstractEventLoop:

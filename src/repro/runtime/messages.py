@@ -385,9 +385,12 @@ _TOPIC_PAYLOAD = struct.Struct("!IqdQqq")
 
 WIRE_VERSION = 1
 
-#: Largest encodable message (the single-UDP-datagram ceiling of live mode;
-#: the simulator has no such limit, so oversized sends raise loudly here).
-MAX_WIRE_SIZE = 60_000
+#: Largest encodable message.  This used to be the single-UDP-datagram
+#: ceiling of live mode (60 000 bytes); the live socket layer now fragments
+#: and reassembles oversized frames (:data:`repro.transport.udp.
+#: FRAGMENT_THRESHOLD`), so the cap is only a runaway-allocation guard —
+#: large payloads degrade to multiple datagrams instead of raising.
+MAX_WIRE_SIZE = 16_000_000
 
 # Payload type tags (the codec's closed set of payload classes).
 _P_NONE = 0
@@ -663,8 +666,8 @@ class WireCodec:
         if len(encoded) > MAX_WIRE_SIZE:
             raise WireError(
                 f"message {message.name!r} encodes to {len(encoded)} bytes, "
-                f"over the {MAX_WIRE_SIZE}-byte live datagram ceiling "
-                f"(simulate larger messages, or shrink the payload)")
+                f"over the {MAX_WIRE_SIZE}-byte codec ceiling (a runaway "
+                f"payload? live mode fragments datagrams, but not this big)")
         return encoded
 
     def decode_message(self, data: bytes, offset: int = 0) -> tuple[Message, int]:

@@ -26,8 +26,11 @@ live mode.  See docs/LIVE.md.
 from __future__ import annotations
 
 import asyncio
+import json
 import logging
+import random
 import struct
+import time
 from typing import Any, Mapping, Optional
 
 from ..network.addressing import HostAddress
@@ -106,6 +109,77 @@ class UdpTransport(Transport):
 # ================================================================ live sockets
 logger = logging.getLogger(__name__)
 
+#: Frames larger than this are split into fragment datagrams.  Sized to the
+#: old single-datagram ceiling so every frame that fit before still goes out
+#: as one unfragmented, byte-identical datagram (pinned by the fragmentation
+#: tests), while staying under the 65 507-byte UDP payload maximum.
+FRAGMENT_THRESHOLD = 60_000
+
+#: Seconds an incomplete reassembly buffer may wait for its missing
+#: fragments before it is garbage-collected (IP-style: lose one fragment,
+#: lose the message).
+FRAGMENT_TIMEOUT = 5.0
+
+
+class SocketFaults:
+    """Network-fault table for one live socket: the live twin of the
+    emulator's partition/degrade hooks.
+
+    Rules are keyed by *peer overlay address* and applied where a real
+    network would apply them: outbound cuts drop the datagram after the
+    transport stack handed it over (the send still "succeeds" — the bytes
+    die in the network, not on the host), inbound cuts, loss, and delay act
+    on arriving datagrams before any decoding.  Partition membership,
+    directed cuts, and degradation rules are tracked separately so healing
+    one fault never heals another that targets the same peer.
+
+    The table is installed over the coordinator control channel (see
+    :meth:`SocketUdpNetwork.apply_fault_op`); every operation is idempotent,
+    so the coordinator can re-send rules (control datagrams are themselves
+    best-effort) and replay the active set to a respawned node.
+    """
+
+    def __init__(self, local_address: int,
+                 rng: Optional[random.Random] = None) -> None:
+        self.local_address = local_address
+        #: Loss rolls come from a per-node stream so a fixed seed gives a
+        #: reproducible drop pattern per receiver (timing still varies).
+        self.rng = rng if rng is not None \
+            else random.Random(local_address * 0x9E3779B1)
+        self.partitioned: set[int] = set()   # peers cut both ways
+        self.cut_to: set[int] = set()        # outbound one-way cuts
+        self.cut_from: set[int] = set()      # inbound one-way cuts
+        self.delay_from: dict[int, float] = {}
+        self.loss_from: dict[int, float] = {}
+
+    def active(self) -> bool:
+        return bool(self.partitioned or self.cut_to or self.cut_from
+                    or self.delay_from or self.loss_from)
+
+    def drops_outbound(self, dst: int) -> bool:
+        return dst in self.partitioned or dst in self.cut_to
+
+    def inbound(self, src: int):
+        """Verdict for an arriving datagram from *src*.
+
+        ``"drop"`` discards it, a positive float delays delivery by that
+        many seconds, ``None`` delivers immediately.
+        """
+        if src in self.partitioned or src in self.cut_from:
+            return "drop"
+        loss = self.loss_from.get(src)
+        if loss and self.rng.random() < loss:
+            return "drop"
+        return self.delay_from.get(src)
+
+    def __repr__(self) -> str:   # pragma: no cover - debugging aid
+        return (f"SocketFaults(addr={self.local_address}, "
+                f"partitioned={sorted(self.partitioned)}, "
+                f"cut_to={sorted(self.cut_to)}, "
+                f"cut_from={sorted(self.cut_from)}, "
+                f"delayed={sorted(self.delay_from)}, "
+                f"lossy={sorted(self.loss_from)})")
+
 
 class SocketUdpNetwork(asyncio.DatagramProtocol):
     """The network emulator's socket-backed counterpart for one live node.
@@ -137,10 +211,15 @@ class SocketUdpNetwork(asyncio.DatagramProtocol):
     _FRAME_DATAGRAM = 1
     _FRAME_SEGMENT = 2
     _FRAME_RAW = 3
+    _FRAME_FRAGMENT = 4
+    _FRAME_CONTROL = 5
     #: kind flag, seq, ack, msg_id, chunk, chunks, epoch, dest_epoch, size —
     #: the full Segment envelope (its ~45 bytes of framing play the role of
     #: the emulator's fixed HEADER_BYTES overhead).
     _SEGMENT = struct.Struct("!BqqQIIIII")
+    #: magic, frame kind, src address, fragment id, index, count — each
+    #: fragment datagram carries one slice of an oversized frame.
+    _FRAGMENT = struct.Struct("!BBIIHH")
 
     def __init__(self, local_address: int,
                  endpoints: Mapping[int, tuple[str, int]],
@@ -153,19 +232,32 @@ class SocketUdpNetwork(asyncio.DatagramProtocol):
         self.codec = codec
         self._receive = None
         self._transport: Optional[asyncio.DatagramTransport] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
         #: False while "crashed": sends dropped, arrivals ignored.
         self.attached = True
+        #: Injected network faults (partition/cut/degrade rules); consulted
+        #: on both send and receive, installed via :meth:`apply_fault_op`.
+        self.faults = SocketFaults(local_address)
+        self._frag_id = 0
+        #: (src, frag_id) -> partial reassembly state with a GC deadline.
+        self._pending_fragments: dict[tuple[int, int], dict] = {}
         self.frames_sent = 0
         self.frames_received = 0
         self.bytes_sent = 0
         self.bytes_received = 0
         self.send_drops = 0
         self.decode_errors = 0
+        self.fault_drops = 0
+        self.fragments_sent = 0
+        self.fragments_received = 0
+        self.reassembly_timeouts = 0
+        self.control_frames = 0
 
     # ------------------------------------------------------------- lifecycle
     async def open(self) -> None:
         """Bind the local endpoint on the running event loop."""
         loop = asyncio.get_running_loop()
+        self._loop = loop
         host, port = self.endpoints[self.local_address]
         await loop.create_datagram_endpoint(lambda: self,
                                             local_addr=(host, port))
@@ -222,6 +314,11 @@ class SocketUdpNetwork(asyncio.DatagramProtocol):
             # an unknown/absent destination silently vanishes.
             self.send_drops += 1
             return False
+        if self.faults.drops_outbound(packet.dst):
+            # The datagram left this host and died in the (faulted) network:
+            # the send succeeded as far as the transport stack knows.
+            self.fault_drops += 1
+            return True
         payload = packet.payload
         codec = self.codec
         if type(payload) is Datagram:
@@ -250,6 +347,8 @@ class SocketUdpNetwork(asyncio.DatagramProtocol):
             frame = (self._HEADER.pack(self.MAGIC, self._FRAME_RAW,
                                        self.local_address)
                      + codec.encode_payload(payload))
+        if len(frame) > FRAGMENT_THRESHOLD:
+            return self._send_fragmented(frame, endpoint)
         try:
             self._transport.sendto(frame, endpoint)
         except OSError as exc:   # pragma: no cover - oversized datagram, etc.
@@ -260,16 +359,85 @@ class SocketUdpNetwork(asyncio.DatagramProtocol):
         self.bytes_sent += len(frame)
         return True
 
+    def _send_fragmented(self, frame: bytes, endpoint) -> bool:
+        """Split an oversized frame into fragment datagrams.
+
+        Each fragment carries ``(frag_id, index, count)`` plus one slice of
+        the original frame — header included, so the reassembled bytes feed
+        the normal decode path unchanged.  As with IP fragmentation, losing
+        any fragment loses the whole message (the receiver's reassembly
+        buffer is garbage-collected after :data:`FRAGMENT_TIMEOUT`).
+        """
+        budget = FRAGMENT_THRESHOLD - self._FRAGMENT.size
+        count = (len(frame) + budget - 1) // budget
+        if count > 0xFFFF:   # pragma: no cover - a >3.9 GB message
+            logger.warning("frame of %d bytes exceeds the fragment count "
+                           "limit; dropping", len(frame))
+            self.send_drops += 1
+            return False
+        self._frag_id = frag_id = (self._frag_id + 1) & 0xFFFFFFFF
+        for index in range(count):
+            datagram = (self._FRAGMENT.pack(
+                self.MAGIC, self._FRAME_FRAGMENT, self.local_address,
+                frag_id, index, count)
+                + frame[index * budget:(index + 1) * budget])
+            try:
+                self._transport.sendto(datagram, endpoint)
+            except OSError as exc:   # pragma: no cover - kernel buffer, etc.
+                logger.warning("live fragment send to %s failed: %s",
+                               endpoint, exc)
+                self.send_drops += 1
+                return False
+            self.frames_sent += 1
+            self.fragments_sent += 1
+            self.bytes_sent += len(datagram)
+        return True
+
     # --------------------------------------------------------------- receive
     def datagram_received(self, data: bytes, addr) -> None:
-        if not self.attached or self._receive is None:
-            return
         self.frames_received += 1
         self.bytes_received += len(data)
         try:
             magic, frame_kind, src = self._HEADER.unpack_from(data, 0)
-            if magic != self.MAGIC:
-                raise WireError(f"bad frame magic {magic:#x}")
+        except struct.error:
+            self.decode_errors += 1
+            logger.warning("dropping runt datagram from %s", addr)
+            return
+        if magic != self.MAGIC:
+            self.decode_errors += 1
+            logger.warning("dropping datagram with bad magic %#x from %s",
+                           magic, addr)
+            return
+        if frame_kind == self._FRAME_CONTROL:
+            # The coordinator control channel is out-of-band: it works
+            # through partitions (it *installs* them) and while the node is
+            # detached, so fault state stays current across crash/recover.
+            self._handle_control(data, addr)
+            return
+        if not self.attached or self._receive is None:
+            return
+        faults = self.faults
+        if faults.active():
+            verdict = faults.inbound(src)
+            if verdict == "drop":
+                self.fault_drops += 1
+                return
+            if verdict and self._loop is not None:
+                self._loop.call_later(verdict, self._frame_received,
+                                      data, addr)
+                return
+        self._frame_received(data, addr)
+
+    def _frame_received(self, data: bytes, addr) -> None:
+        if not self.attached or self._receive is None:
+            return   # crashed while a delayed datagram was in flight
+        try:
+            magic, frame_kind, src = self._HEADER.unpack_from(data, 0)
+            if frame_kind == self._FRAME_FRAGMENT:
+                data = self._reassemble(data, addr)
+                if data is None:
+                    return
+                magic, frame_kind, src = self._HEADER.unpack_from(data, 0)
             offset = self._HEADER.size
             if frame_kind == self._FRAME_RAW:
                 payload, _ = self.codec.decode_payload(data, offset)
@@ -310,6 +478,164 @@ class SocketUdpNetwork(asyncio.DatagramProtocol):
         except Exception:   # noqa: BLE001 - one bad packet must not stop the node
             logger.exception("live receive callback failed for %r", packet)
 
+    # ---------------------------------------------------------- reassembly
+    def _reassemble(self, data: bytes, addr) -> Optional[bytes]:
+        """Buffer one fragment; return the whole frame when complete."""
+        self.fragments_received += 1
+        now = time.monotonic()
+        if self._pending_fragments:
+            self._gc_fragments(now)
+        try:
+            _, _, src, frag_id, index, count = self._FRAGMENT.unpack_from(
+                data, 0)
+        except struct.error as exc:
+            raise WireError(f"truncated fragment header: {exc}") from exc
+        if count == 0 or index >= count:
+            raise WireError(f"bad fragment index {index}/{count}")
+        key = (src, frag_id)
+        entry = self._pending_fragments.get(key)
+        if entry is None:
+            entry = self._pending_fragments[key] = {
+                "deadline": now + FRAGMENT_TIMEOUT, "count": count,
+                "chunks": {}}
+        elif entry["count"] != count:
+            del self._pending_fragments[key]
+            raise WireError(
+                f"fragment count changed mid-reassembly ({entry['count']} "
+                f"vs {count}) for id {frag_id}")
+        entry["chunks"][index] = data[self._FRAGMENT.size:]
+        if len(entry["chunks"]) < entry["count"]:
+            return None
+        del self._pending_fragments[key]
+        return b"".join(entry["chunks"][i] for i in range(entry["count"]))
+
+    def _gc_fragments(self, now: Optional[float] = None) -> None:
+        """Drop reassembly buffers whose missing fragments never came.
+
+        Called lazily from the fragment path (a socket with no pending
+        buffers pays nothing); tests may call it directly.
+        """
+        if now is None:
+            now = time.monotonic()
+        expired = [key for key, entry in self._pending_fragments.items()
+                   if entry["deadline"] <= now]
+        for key in expired:
+            del self._pending_fragments[key]
+            self.reassembly_timeouts += 1
+
+    # ------------------------------------------------------ control channel
+    @classmethod
+    def control_frame(cls, op: dict, src: int = 0) -> bytes:
+        """Encode a fault-table operation as one control datagram.
+
+        The coordinator (conventionally address 0, which no overlay node
+        uses) sends these from a plain blocking socket; they need no codec.
+        """
+        return (cls._HEADER.pack(cls.MAGIC, cls._FRAME_CONTROL, src)
+                + json.dumps(op, separators=(",", ":")).encode("utf-8"))
+
+    def set_control_callback(self, callback) -> None:
+        """Override the default control handler (:meth:`apply_fault_op`)."""
+        self._control_handler = callback
+
+    def _handle_control(self, data: bytes, addr) -> None:
+        self.control_frames += 1
+        try:
+            op = json.loads(data[self._HEADER.size:].decode("utf-8"))
+            if not isinstance(op, dict):
+                raise WireError(f"control payload is not an object: {op!r}")
+            handler = getattr(self, "_control_handler", None)
+            if handler is not None:
+                handler(op)
+            else:
+                self.apply_fault_op(op)
+        except (WireError, ValueError, KeyError, TypeError) as exc:
+            self.decode_errors += 1
+            logger.warning("dropping bad control frame from %s: %s",
+                           addr, exc)
+
+    def apply_fault_op(self, op: dict) -> None:
+        """Apply one coordinator fault operation to the local fault table.
+
+        Addresses in *op* are overlay addresses.  Operations:
+
+        * ``{"op": "partition", "groups": [[a, b], [c]]}`` — host-level
+          partition: this node can only reach peers in its own group;
+          unlisted nodes form their own implicit group (exactly the
+          emulator's ``partition_hosts`` rule).  Replaces any previous
+          partition.
+        * ``{"op": "heal-partition"}`` — clear partition rules only.
+        * ``{"op": "cut", "pairs": [[a, b]], "one_way": true}`` — cut the
+          ``a -> b`` direction of each pair (both directions when
+          ``one_way`` is false/absent).
+        * ``{"op": "heal", "pairs": [[a, b]]}`` — remove both directions of
+          each pair from the cut sets.
+        * ``{"op": "degrade", "targets": [a], "delay": 0.05, "loss": 0.3}``
+          — degrade the access link of each target: arrivals *from* a
+          target are delayed/lossy everywhere, and a targeted node applies
+          the rules to every peer (so its inbound direction degrades too).
+        * ``{"op": "restore", "targets": [a]}`` — undo ``degrade``.
+        """
+        faults = self.faults
+        kind = op.get("op")
+        if kind == "partition":
+            groups = [set(group) for group in op.get("groups", ())]
+            peers = set(self.endpoints) - {self.local_address}
+            mine = next((group for group in groups
+                         if self.local_address in group), None)
+            if mine is None:
+                listed: set[int] = set()
+                for group in groups:
+                    listed |= group
+                faults.partitioned = peers & listed
+            else:
+                faults.partitioned = peers - mine
+        elif kind == "heal-partition":
+            faults.partitioned = set()
+        elif kind == "cut":
+            one_way = bool(op.get("one_way"))
+            for u, v in op.get("pairs", ()):
+                if self.local_address == u:
+                    faults.cut_to.add(v)
+                    if not one_way:
+                        faults.cut_from.add(v)
+                if self.local_address == v:
+                    faults.cut_from.add(u)
+                    if not one_way:
+                        faults.cut_to.add(u)
+        elif kind == "heal":
+            # Healing is generous: both directions of the pair reopen even
+            # if the cut was one-way.
+            for u, v in op.get("pairs", ()):
+                if self.local_address == u:
+                    faults.cut_to.discard(v)
+                    faults.cut_from.discard(v)
+                if self.local_address == v:
+                    faults.cut_to.discard(u)
+                    faults.cut_from.discard(u)
+        elif kind == "degrade":
+            targets = set(op.get("targets", ()))
+            delay = float(op.get("delay", 0.0))
+            loss = float(op.get("loss", 0.0))
+            affected = (set(self.endpoints) - {self.local_address}
+                        if self.local_address in targets else targets)
+            for peer in affected:
+                if delay > 0:
+                    faults.delay_from[peer] = delay
+                if loss > 0:
+                    faults.loss_from[peer] = loss
+        elif kind == "restore":
+            targets = set(op.get("targets", ()))
+            if self.local_address in targets:
+                faults.delay_from.clear()
+                faults.loss_from.clear()
+            else:
+                for peer in targets:
+                    faults.delay_from.pop(peer, None)
+                    faults.loss_from.pop(peer, None)
+        else:
+            raise WireError(f"unknown fault op {kind!r}")
+
     def stats(self) -> dict[str, int]:
         return {
             "frames_sent": self.frames_sent,
@@ -318,6 +644,11 @@ class SocketUdpNetwork(asyncio.DatagramProtocol):
             "bytes_received": self.bytes_received,
             "send_drops": self.send_drops,
             "decode_errors": self.decode_errors,
+            "fault_drops": self.fault_drops,
+            "fragments_sent": self.fragments_sent,
+            "fragments_received": self.fragments_received,
+            "reassembly_timeouts": self.reassembly_timeouts,
+            "control_frames": self.control_frames,
         }
 
     def __repr__(self) -> str:   # pragma: no cover - debugging aid

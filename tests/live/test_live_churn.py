@@ -1,0 +1,90 @@
+"""Live fault injection end-to-end: real SIGKILLs, supervised respawns.
+
+The in-test shapes stay small (4-5 nodes, a few seconds); the CI
+live-churn-smoke job runs the 8-node version via scripts/run_live.py.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.live import KillNode, LiveCluster, LiveClusterConfig, LiveClusterError
+
+pytestmark = pytest.mark.live
+
+
+def test_kill_and_supervised_respawn_recovers():
+    """The acceptance shape: a mid-run SIGKILL, a supervised respawn through
+    the restart-epoch machinery, and routing that recovers after the settle
+    window."""
+    config = LiveClusterConfig(
+        nodes=5, duration=7.0, join_spacing=0.1, settle=0.8, packets=30,
+        seed=7, base_port=49500,
+        faults=(KillNode(at=3.0, index=2, respawn_after=1.0),),
+        post_fault_settle=2.0)
+    outcome = LiveCluster(config).run()
+    metrics = outcome.metrics
+
+    assert metrics["nodes.killed"] == 1.0
+    assert metrics["nodes.respawns"] == 1.0
+    assert metrics["nodes.down"] == 0.0
+
+    victim = outcome.per_node[2]
+    assert victim["incarnation"] == 1
+    # The transport restart epoch tracked the process incarnation, so the
+    # reborn node's reliable traffic was not mistaken for the dead one's.
+    assert victim["epoch"] == 1
+    assert victim["state"] == "joined"
+
+    # Probes scheduled into the victim's outage window are skipped, not
+    # silently lost; the accounting sees them.
+    assert metrics["workload.skipped"] >= 0.0
+    # After the respawn plus the settle window, routing must work again.
+    assert metrics["workload.post_fault_success_ratio"] >= 0.8
+    assert metrics["nodes.callback_errors"] == 0.0
+
+
+def test_kill_without_respawn_leaves_the_node_accounted_down():
+    config = LiveClusterConfig(
+        nodes=4, duration=5.5, join_spacing=0.1, settle=0.8, packets=16,
+        seed=11, base_port=49520,
+        faults=(KillNode(at=2.5, index=3),))
+    outcome = LiveCluster(config).run()
+    metrics = outcome.metrics
+
+    assert metrics["nodes.killed"] == 1.0
+    assert metrics["nodes.respawns"] == 0.0
+    assert metrics["nodes.down"] == 1.0
+    assert metrics["nodes.joined"] == 3.0
+    down = outcome.per_node[3]
+    assert down["state"] == "down"
+    assert down["sent"] == 0
+    # Some of the survivors' workload still routes (the dead node's keys
+    # fail until the ring heals; this asserts accounting, not recovery).
+    assert metrics["workload.success_ratio"] >= 0.2
+    # Ring health is judged over the survivors, not the placeholder report.
+    assert "ring.correct_successor_fraction" in metrics
+
+
+def test_startup_timeout_names_the_stuck_nodes():
+    # Spawned (not forked) workers re-import the package, which takes far
+    # longer than the deliberately absurd 50 ms barrier window.
+    config = LiveClusterConfig(nodes=3, duration=4.0, base_port=49540,
+                               start_method="spawn", startup_timeout=0.05)
+    with pytest.raises(LiveClusterError,
+                       match="never reached the start barrier"):
+        LiveCluster(config).run()
+
+
+def test_port_conflict_is_a_boot_failure_naming_the_node():
+    squatter = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    squatter.bind(("127.0.0.1", 49561))   # node index 1's port
+    try:
+        config = LiveClusterConfig(nodes=3, duration=4.0, base_port=49560)
+        with pytest.raises(LiveClusterError,
+                           match="failed to start — node 2"):
+            LiveCluster(config).run()
+    finally:
+        squatter.close()

@@ -1,0 +1,188 @@
+"""The live fault table: SocketFaults verdicts, fault ops, control frames."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network.packet import Packet
+from repro.protocols import chord_agent
+from repro.runtime.messages import WireCodec, WireError
+from repro.transport.base import Datagram
+from repro.transport.udp import SocketFaults, SocketUdpNetwork
+
+pytestmark = pytest.mark.live
+
+
+def _network(address: int = 1, peers: int = 4) -> SocketUdpNetwork:
+    codec = WireCodec.for_agents([chord_agent()])
+    endpoints = {a: ("127.0.0.1", 3000 + a) for a in range(1, peers + 1)}
+    return SocketUdpNetwork(address, endpoints, codec)
+
+
+# ---------------------------------------------------------------- SocketFaults
+def test_fault_table_verdicts():
+    faults = SocketFaults(1, rng=random.Random(0))
+    assert not faults.active()
+    assert faults.inbound(2) is None
+
+    faults.partitioned = {2}
+    assert faults.active()
+    assert faults.drops_outbound(2)
+    assert faults.inbound(2) == "drop"
+    assert faults.inbound(3) is None
+
+    faults.partitioned = set()
+    faults.cut_to = {3}
+    assert faults.drops_outbound(3)
+    assert faults.inbound(3) is None        # one-way: inbound still open
+    faults.cut_from = {4}
+    assert not faults.drops_outbound(4)
+    assert faults.inbound(4) == "drop"
+
+    faults.cut_to = set()
+    faults.cut_from = set()
+    faults.delay_from[2] = 0.05
+    assert faults.inbound(2) == pytest.approx(0.05)
+    faults.loss_from[3] = 1.0                # certain loss
+    assert faults.inbound(3) == "drop"
+
+
+def test_loss_rolls_are_reproducible_per_seeded_stream():
+    rolls_a = [SocketFaults(1, rng=random.Random(42)).inbound(2)
+               for _ in range(1)]
+    faults_a = SocketFaults(1, rng=random.Random(42))
+    faults_b = SocketFaults(1, rng=random.Random(42))
+    faults_a.loss_from[2] = 0.5
+    faults_b.loss_from[2] = 0.5
+    verdicts_a = [faults_a.inbound(2) for _ in range(32)]
+    verdicts_b = [faults_b.inbound(2) for _ in range(32)]
+    assert verdicts_a == verdicts_b
+    assert "drop" in verdicts_a and None in verdicts_a
+    del rolls_a
+
+
+# --------------------------------------------------------------- apply_fault_op
+def test_partition_op_isolates_by_group():
+    network = _network(address=1)
+    network.apply_fault_op({"op": "partition", "groups": [[1, 2], [3, 4]]})
+    assert network.faults.partitioned == {3, 4}
+    network.apply_fault_op({"op": "heal-partition"})
+    assert network.faults.partitioned == set()
+
+    # A node in no listed group forms the implicit group: it loses only the
+    # listed nodes (the emulator's partition_hosts rule).
+    network.apply_fault_op({"op": "partition", "groups": [[2, 3]]})
+    assert network.faults.partitioned == {2, 3}
+    # Re-partitioning replaces, never accumulates (idempotent re-sends).
+    network.apply_fault_op({"op": "partition", "groups": [[1, 2], [3, 4]]})
+    assert network.faults.partitioned == {3, 4}
+
+
+def test_cut_and_heal_ops_are_directional():
+    u_side = _network(address=1)
+    v_side = _network(address=3)
+    op = {"op": "cut", "pairs": [[1, 3]], "one_way": True}
+    u_side.apply_fault_op(op)
+    v_side.apply_fault_op(op)
+    assert u_side.faults.cut_to == {3} and u_side.faults.cut_from == set()
+    assert v_side.faults.cut_from == {1} and v_side.faults.cut_to == set()
+
+    both = {"op": "cut", "pairs": [[1, 3]]}
+    u_side.apply_fault_op(both)
+    assert u_side.faults.cut_to == {3} and u_side.faults.cut_from == {3}
+
+    heal = {"op": "heal", "pairs": [[1, 3]]}
+    u_side.apply_fault_op(heal)
+    v_side.apply_fault_op(heal)
+    assert not u_side.faults.active()
+    assert not v_side.faults.active()
+
+
+def test_degrade_op_covers_both_directions_of_the_access_link():
+    bystander = _network(address=1)
+    target = _network(address=2)
+    op = {"op": "degrade", "targets": [2], "delay": 0.05, "loss": 0.3}
+    bystander.apply_fault_op(op)
+    target.apply_fault_op(op)
+    # Everyone degrades arrivals *from* the target; the target degrades
+    # arrivals from everyone (its whole access link limps).
+    assert bystander.faults.delay_from == {2: 0.05}
+    assert bystander.faults.loss_from == {2: 0.3}
+    assert set(target.faults.delay_from) == {1, 3, 4}
+
+    restore = {"op": "restore", "targets": [2]}
+    bystander.apply_fault_op(restore)
+    target.apply_fault_op(restore)
+    assert not bystander.faults.active()
+    assert not target.faults.active()
+
+
+def test_unknown_fault_op_raises():
+    with pytest.raises(WireError, match="unknown fault op"):
+        _network().apply_fault_op({"op": "teleport"})
+
+
+# -------------------------------------------------------------- control channel
+def test_control_frame_installs_rules_even_while_detached():
+    network = _network(address=2)
+    network.detach_host(2)                  # "crashed": data path muted
+    frame = SocketUdpNetwork.control_frame(
+        {"op": "partition", "groups": [[1], [2, 3, 4]]})
+    network.datagram_received(frame, ("127.0.0.1", 9))
+    assert network.control_frames == 1
+    assert network.faults.partitioned == {1}
+
+
+def test_bad_control_frames_count_as_line_noise():
+    network = _network()
+    header = SocketUdpNetwork._HEADER.pack(
+        SocketUdpNetwork.MAGIC, SocketUdpNetwork._FRAME_CONTROL, 0)
+    network.datagram_received(header + b"not json", ("127.0.0.1", 9))
+    network.datagram_received(header + b'["a list"]', ("127.0.0.1", 9))
+    network.datagram_received(header + b'{"op":"teleport"}', ("127.0.0.1", 9))
+    assert network.decode_errors == 3
+    assert not network.faults.active()
+
+
+# ------------------------------------------------------------------- data path
+class _FakeTransport:
+    def __init__(self):
+        self.sent = []
+
+    def sendto(self, data, endpoint):
+        self.sent.append((bytes(data), endpoint))
+
+
+def test_outbound_cut_swallows_the_datagram_but_reports_success():
+    network = _network(address=1)
+    network._transport = _FakeTransport()
+    network.apply_fault_op({"op": "cut", "pairs": [[1, 2]]})
+    packet = Packet(src=1, dst=2, payload=Datagram("CTRL", b"x", 1), size=1)
+    # The transport stack sees a successful send — the bytes die in the
+    # "network", exactly like an emulator-partitioned link.
+    assert network.send(packet) is True
+    assert network._transport.sent == []
+    assert network.fault_drops == 1
+    assert network.send_drops == 0
+
+
+def test_inbound_partition_drops_arrivals_before_decode():
+    sender = _network(address=1)
+    sender._transport = _FakeTransport()
+    receiver = _network(address=2)
+    arrivals = []
+    receiver.set_receive_callback(2, arrivals.append)
+    packet = Packet(src=1, dst=2, payload=Datagram("CTRL", b"x", 1), size=1)
+    assert sender.send(packet) is True
+    (wire, _), = sender._transport.sent
+
+    receiver.apply_fault_op({"op": "partition", "groups": [[1], [2]]})
+    receiver.datagram_received(wire, ("127.0.0.1", 3001))
+    assert arrivals == []
+    assert receiver.fault_drops == 1
+
+    receiver.apply_fault_op({"op": "heal-partition"})
+    receiver.datagram_received(wire, ("127.0.0.1", 3001))
+    assert len(arrivals) == 1

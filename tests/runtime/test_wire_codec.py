@@ -266,10 +266,16 @@ def test_codec_errors_are_loud_and_typed():
     with pytest.raises(WireError, match="cannot encode payload"):
         codec.encode_message(Message(type=chord_types["data"], fields={},
                                      payload=object(), protocol="chord"))
-    # Oversized for one UDP datagram.
+    # Messages over the old 60 kB single-datagram cap now encode (the live
+    # socket layer fragments them); only a runaway payload past the codec
+    # ceiling still raises.
+    big = codec.encode_message(Message(type=chord_types["data"], fields={},
+                                       payload=None, payload_size=200_000,
+                                       protocol="chord"))
+    assert len(big) > 60_000
     with pytest.raises(WireError, match="ceiling"):
         codec.encode_message(Message(type=chord_types["data"], fields={},
-                                     payload=None, payload_size=200_000,
+                                     payload=None, payload_size=20_000_000,
                                      protocol="chord"))
 
 
