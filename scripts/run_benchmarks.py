@@ -677,6 +677,67 @@ def bench_adversarial(seeds: tuple[int, ...] = (1, 2)) -> dict:
     return benches
 
 
+# ------------------------------------------------------------------------ obs
+def bench_obs(seeds: tuple[int, ...] = (1, 2)) -> dict:
+    """Observability overhead: one fixed spec, obs off vs fully on.
+
+    The obs-off rate is the gated number (fixed-size, comparable on every
+    invocation, like the adversarial benches): with no
+    :class:`~repro.obs.ObsConfig` attached the run must execute the
+    historical code paths, so a slowdown here is a real hot-path
+    regression.  The obs-on pass (trace export + causal tracing + metrics
+    snapshot) reports the ``overhead_ratio`` informationally and asserts
+    the tentpole's invariance contract: metrics stay byte-identical with
+    observability attached.
+    """
+    import os
+    import shutil
+    import tempfile
+    from dataclasses import replace
+
+    from repro.eval.library import resolve_protocol
+    from repro.obs import ObsConfig
+
+    def build(seed: int) -> ScenarioSpec:
+        return ScenarioSpec(
+            name="bench-obs", agents=resolve_protocol("chord"),
+            num_nodes=12, duration=60.0, seed=seed,
+            models=(ChurnModel(join="staggered", join_spacing=0.4),
+                    WorkloadModel(kind="route", source=-1, start=10.0,
+                                  packets=40, gap=1.0)))
+
+    start = time.perf_counter()
+    off_results = [build(seed).run() for seed in seeds]
+    off_seconds = time.perf_counter() - start
+    events = sum(result.metrics["sim.events_processed"]
+                 for result in off_results)
+
+    tmp = tempfile.mkdtemp(prefix="bench-obs-")
+    try:
+        start = time.perf_counter()
+        on_results = []
+        for seed in seeds:
+            obs = ObsConfig(trace_path=os.path.join(tmp, f"t{seed}.jsonl"),
+                            causal=True)
+            on_results.append(replace(build(seed), obs=obs).run())
+        on_seconds = time.perf_counter() - start
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    return {
+        "seeds": list(seeds),
+        "seconds": round(off_seconds, 6),
+        "events_processed": int(events),
+        "events_per_sec": round(events / off_seconds),
+        "on_seconds": round(on_seconds, 6),
+        "on_events_per_sec": round(events / on_seconds),
+        "overhead_ratio": round(on_seconds / off_seconds, 4),
+        "metrics_identical": all(
+            on.metrics == off.metrics
+            for on, off in zip(on_results, off_results)),
+    }
+
+
 # ---------------------------------------------------------------- fingerprint
 def metrics_fingerprint(seed: int = 7, num_hosts: int = 64,
                         num_packets: int = 2_000) -> dict:
@@ -774,6 +835,9 @@ def check_against(entry: dict, reference: dict | None, position: int) -> int:
          ("adversarial", "flash_crowd", "events_per_sec")),
         ("adversarial scribe_flapping events/s",
          ("adversarial", "scribe_flapping", "events_per_sec")),
+        # Fixed-size too: the obs-off rate of the observability bench —
+        # instrumentation hooks may not slow down an uninstrumented run.
+        ("obs-off events/s", ("obs", "events_per_sec")),
     ):
         measured = _nested_get(entry, *path)
         recorded = _nested_get(reference, *path)
@@ -1103,6 +1167,7 @@ def main(argv: list[str] | None = None) -> int:
         "app": bench_app(args.app_kv_nodes, args.app_kv_duration,
                          args.app_pubsub_nodes, args.app_pubsub_duration),
         "adversarial": bench_adversarial(),
+        "obs": bench_obs(),
         "fingerprint": metrics_fingerprint(),
     }
 

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""CI obs-smoke: run a small traced scenario, validate every artifact.
+
+Runs an 8-node Chord spec with full observability attached (trace export,
+causal message tracing, metrics snapshot), then checks the whole artifact
+chain end to end:
+
+* the ``repro.obs/1`` snapshot file round-trips and passes schema
+  validation, and its counters agree with the run;
+* the ``repro.trace/1`` JSONL stream loads, and causal ``route_hop``
+  records reconstruct into route paths with hop counts and per-hop
+  latencies;
+* running the *same* spec without observability produces byte-identical
+  metrics — the disabled path must not perturb the simulation.
+
+Artifacts land in ``--out-dir`` so the CI job can upload them; exits
+non-zero on any check failure.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_obs_smoke.py --out-dir obs-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.eval.library import resolve_protocol            # noqa: E402
+from repro.eval.scenario import (ChurnModel, ScenarioSpec,  # noqa: E402
+                                 WorkloadModel)
+from repro.obs import (ObsConfig, load_obs_snapshot,       # noqa: E402
+                       load_trace, reconstruct_routes)
+
+
+def build_spec(seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="obs-smoke", agents=resolve_protocol("chord"),
+        num_nodes=8, duration=40.0, seed=seed,
+        models=(ChurnModel(join="staggered", join_spacing=0.5),
+                WorkloadModel(kind="route", source=-1, start=10.0,
+                              packets=24, gap=1.0)))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description="Observability smoke test")
+    parser.add_argument("--out-dir", default="obs-artifacts",
+                        help="directory the artifacts are written into")
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = out_dir / "trace.jsonl"
+    snapshot_path = out_dir / "obs.json"
+
+    failures: list[str] = []
+
+    def check(ok: bool, label: str) -> None:
+        print(f"  {'ok' if ok else 'FAIL'}: {label}")
+        if not ok:
+            failures.append(label)
+
+    spec = build_spec(args.seed)
+    print("running baseline (obs off) ...")
+    baseline = spec.run()
+
+    print("running traced (obs on) ...")
+    traced_spec = replace(spec, obs=ObsConfig(
+        trace_path=str(trace_path), causal=True,
+        snapshot_path=str(snapshot_path)))
+    traced = traced_spec.run()
+
+    check(traced.metrics == baseline.metrics,
+          "obs-on metrics byte-identical to obs-off")
+    check(traced.obs is not None, "result carries an obs snapshot")
+
+    # Snapshot file: schema-validated on load.
+    snapshot = load_obs_snapshot(str(snapshot_path))
+    check(snapshot["schema"] == "repro.obs/1", "snapshot schema")
+    check(snapshot["mode"] == "sim", "snapshot mode")
+    counters = snapshot["counters"]
+    check(counters["workload.sent"] == 24, "workload.sent counter")
+    check(counters["net.packets_sent"] > 0, "net.packets_sent counter")
+    check(counters["causal.traces"] > 0, "causal traces recorded")
+    check(counters["trace.records"] > 0, "trace records counted")
+
+    # Trace stream: loads, and causal records reconstruct into routes.
+    header, records = load_trace(str(trace_path))
+    check(header["schema"] == "repro.trace/1", "trace schema")
+    check(len(records) > 0, "trace records written")
+    routes = reconstruct_routes(records)
+    check(len(routes) > 0, "route paths reconstructed")
+    check(all(route["hops"] >= 1 and len(route["path"]) == route["hops"] + 1
+              for route in routes), "route path lengths consistent")
+    check(all(len(route["latencies"]) == route["hops"] for route in routes),
+          "per-hop latencies present")
+    hop_histogram = snapshot["histograms"]["causal.route_hops"]
+    check(hop_histogram["count"] == len(routes),
+          "route-hop histogram count matches reconstructed routes")
+
+    summary = {
+        "records": len(records),
+        "routes": len(routes),
+        "max_hops": max(route["hops"] for route in routes) if routes else 0,
+        "counters": {name: value for name, value in counters.items() if value},
+        "failures": failures,
+    }
+    (out_dir / "summary.json").write_text(
+        json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(summary, indent=2))
+    if failures:
+        print(f"obs smoke FAILED ({len(failures)} check(s))",
+              file=sys.stderr)
+        return 1
+    print("obs smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,10 @@ class ExperimentConfig:
     convergence_time: float = 120.0
     #: Failure-detector tuning (the paper's f/g) applied to every node.
     failure_config: Optional[FailureDetectorConfig] = None
+    #: Observability opt-in (:class:`repro.obs.ObsConfig`).  Consulted at
+    #: construction time because the tracer's category policy must exist
+    #: before any agent precomputes its trace gates.
+    obs: Optional[object] = None
 
 
 class OverlayExperiment:
@@ -66,7 +70,11 @@ class OverlayExperiment:
                 f"access link")
         self.emulator = NetworkEmulator(self.simulator, self.topology,
                                         random_loss_rate=config.random_loss_rate)
-        self.tracer = Tracer()
+        if config.obs is not None:
+            from ..obs import build_tracer
+            self.tracer = build_tracer(config.obs)
+        else:
+            self.tracer = Tracer()
         self.nodes: list[MacedonNode] = [
             MacedonNode(self.simulator, self.emulator, self.agent_classes,
                         tracer=self.tracer, strict_locking=config.strict_locking,

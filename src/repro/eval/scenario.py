@@ -1337,6 +1337,11 @@ class ScenarioResult:
     #: of ``metrics`` because these are partition-dependent by nature while
     #: metrics must be identical for every shard count.
     shard_info: Optional[dict] = None
+    #: The ``repro.obs/1`` snapshot when the spec opted into observability
+    #: (``ScenarioSpec.obs``); ``None`` otherwise.  Kept separate from
+    #: ``metrics``, whose key set and values are pinned byte-identical for
+    #: the obs-disabled path.
+    obs: Optional[dict] = None
 
 
 AgentClasses = Union[Sequence[Type[Agent]], Callable[[], Sequence[Type[Agent]]]]
@@ -1369,6 +1374,11 @@ class ScenarioSpec:
     #: recovery, because fail-stop recovery rebuilds the agent stack and
     #: would otherwise revert the tuning on exactly the churned nodes.
     configure: Optional[Callable[["OverlayExperiment"], None]] = None  # noqa: F821
+    #: Observability opt-in (:class:`repro.obs.ObsConfig`): metrics
+    #: snapshot on ``result.obs``, optional trace export and causal
+    #: tracing.  ``None`` — the default — runs the historical code paths
+    #: untouched.
+    obs: Optional[Any] = None
 
     def with_seed(self, seed: int) -> "ScenarioSpec":
         """This spec, re-seeded (the multi-seed runner's replication knob)."""
@@ -1395,6 +1405,7 @@ class ScenarioSpec:
             strict_locking=self.strict_locking,
             convergence_time=self.duration,
             failure_config=self.failure_config,
+            obs=self.obs,
         )
         experiment = OverlayExperiment(self.resolve_agents(), config)
         if self.configure is not None:
@@ -1418,6 +1429,18 @@ class ScenarioSpec:
             return self.run_sharded(shards)
         experiment = self.build()
         simulator = experiment.simulator
+
+        obs_registry = obs_causal = None
+        if self.obs is not None:
+            from ..obs import CausalLog, base_registry
+            obs_registry = base_registry()
+            if experiment.tracer.sink is not None:
+                experiment.tracer.sink.update_meta(
+                    mode="sim", name=self.name, seed=self.seed)
+            if self.obs.causal:
+                obs_causal = CausalLog(experiment.tracer, simulator,
+                                       registry=obs_registry)
+                obs_causal.install(experiment.emulator)
 
         series: dict[str, list[tuple[float, float]]] = {}
         for sample in self.samples:
@@ -1466,10 +1489,23 @@ class ScenarioSpec:
                   for compiled in experiment.compiled_models
                   for event in compiled.events]
         events.sort(key=lambda item: item[0])
+        obs_snapshot = None
+        if obs_registry is not None:
+            from ..obs import artifact, fill_sim, write_obs_snapshot
+            fill_sim(obs_registry, experiment,
+                     events_processed=simulator.events_processed,
+                     owned_nodes=experiment.nodes, causal=obs_causal)
+            obs_snapshot = artifact(obs_registry, mode="sim", name=self.name,
+                                    seed=self.seed, duration=self.duration)
+            sink = experiment.tracer.sink
+            if sink is not None:
+                sink.close()
+            if self.obs.snapshot_path:
+                write_obs_snapshot(self.obs.snapshot_path, obs_snapshot)
         return ScenarioResult(name=self.name, seed=self.seed,
                               duration=self.duration, metrics=metrics,
                               series=series, events=events,
-                              experiment=experiment)
+                              experiment=experiment, obs=obs_snapshot)
 
     def run_sharded(self, shards: int) -> ScenarioResult:
         """Execute the scenario on the multi-process sharded kernel.
@@ -1506,9 +1542,35 @@ class ScenarioSpec:
         single = plan.num_shards == 1
 
         def worker(shard_id, endpoint, barriers):
+            obs_registry = obs_causal = None
+            if self.obs is not None:
+                from ..obs import CausalLog, base_registry
+                obs_registry = base_registry()
+                tracer = experiment.tracer
+                if tracer.sink is not None:
+                    if not single:
+                        # One writer per file: each forked worker spills its
+                        # own shard-suffixed JSONL (run_trace.py merges them).
+                        tracer.sink.path = \
+                            f"{tracer.sink.path}.shard{shard_id}"
+                    tracer.sink.update_meta(
+                        mode="sim" if single else "sharded",
+                        name=self.name, seed=self.seed, shard=shard_id)
+                if self.obs.causal:
+                    # Install order matters: the delivery wrapper must be in
+                    # place before enter_shard captures the callback identity
+                    # for the egress filter; the send tap must come after it
+                    # swaps in the sharded send.
+                    obs_causal = CausalLog(tracer, simulator,
+                                           registry=obs_registry,
+                                           origin=shard_id + 1)
+                    experiment.emulator.install_delivery_wrapper(
+                        obs_causal.wrap_delivery)
             driver = ShardedDriver(simulator, shard_id=shard_id, plan=plan,
-                                   endpoint=endpoint)
+                                   endpoint=endpoint, registry=obs_registry)
             experiment.enter_shard(shard_id, plan, driver.capture)
+            if obs_causal is not None:
+                experiment.emulator.install_send_tap(obs_causal.tag)
             series: dict[str, list[tuple[float, float]]] = {}
             if single:
                 # Identical sample scheduling to run(): same schedule()
@@ -1537,7 +1599,19 @@ class ScenarioSpec:
             stats = experiment.emulator.stats
             owned = [experiment.nodes[i]
                      for i in plan.owned_nodes(shard_id)]
+            obs_payload = None
+            if obs_registry is not None:
+                from ..obs import fill_sim
+                fill_sim(obs_registry, experiment,
+                         events_processed=(simulator.events_processed
+                                           - experiment.shard_skipped_events),
+                         owned_nodes=owned, causal=obs_causal,
+                         cross_shard_packets=driver.packets_exported)
+                if experiment.tracer.sink is not None:
+                    experiment.tracer.sink.close()
+                obs_payload = obs_registry.snapshot()
             return {
+                "obs": obs_payload,
                 "models": models,
                 "net": (stats.packets_sent, stats.packets_delivered,
                         stats.packets_dropped, stats.bytes_delivered),
@@ -1607,7 +1681,21 @@ class ScenarioSpec:
             "cross_shard_packets": sum(p["cross_shard_packets"]
                                        for p in payloads),
         }
+        obs_snapshot = None
+        if self.obs is not None:
+            from ..obs import artifact, base_registry, write_obs_snapshot
+            registry = base_registry()
+            for payload in payloads:
+                if payload["obs"] is not None:
+                    registry.merge(payload["obs"])
+            obs_snapshot = artifact(
+                registry, mode="sim" if single else "sharded",
+                name=self.name, seed=self.seed, duration=self.duration,
+                extra={"shards": plan.num_shards})
+            if self.obs.snapshot_path:
+                write_obs_snapshot(self.obs.snapshot_path, obs_snapshot)
         return ScenarioResult(name=self.name, seed=self.seed,
                               duration=self.duration, metrics=metrics,
                               series=series, events=events,
-                              experiment=None, shard_info=shard_info)
+                              experiment=None, shard_info=shard_info,
+                              obs=obs_snapshot)

@@ -107,7 +107,7 @@ def _run_live(spec, overrides: dict):
 
 
 def run(spec, *, seeds: Union[int, Sequence[int]] = 1, jobs: int = 1,
-        shards: int = 1, mode: str = "sim", **live_overrides):
+        shards: int = 1, mode: str = "sim", obs=None, **live_overrides):
     """Execute *spec* and return its results, whatever the mode.
 
     :param spec: a :class:`~repro.eval.scenario.ScenarioSpec`.
@@ -120,6 +120,11 @@ def run(spec, *, seeds: Union[int, Sequence[int]] = 1, jobs: int = 1,
     :param shards: simulation kernel shards per run (``run_sharded``).
     :param mode: ``"sim"`` (default) or ``"live"`` — real processes over
         UDP sockets, returning a :class:`~repro.live.LiveClusterResult`.
+    :param obs: an :class:`~repro.obs.ObsConfig` to attach observability
+        (metrics snapshot, trace export, causal tracing) to this run in
+        any mode; equivalent to setting ``spec.obs`` (sim) or
+        ``LiveClusterConfig.obs`` (live).  Single-run only: artifact
+        paths are per-run, so multi-seed replication rejects it.
     :param live_overrides: live mode only — forwarded to
         :class:`~repro.live.LiveClusterConfig` (``duration``, ``base_port``,
         ``join_spacing``, ...).
@@ -131,10 +136,18 @@ def run(spec, *, seeds: Union[int, Sequence[int]] = 1, jobs: int = 1,
             raise ValueError(
                 "live mode boots one real deployment: seeds, jobs, and "
                 "shards do not apply (override the config instead)")
+        if obs is not None:
+            live_overrides = dict(live_overrides, obs=obs)
         return _run_live(spec, live_overrides)
     if live_overrides:
         raise ValueError(
             f"unknown options for sim mode: {sorted(live_overrides)}")
+    if obs is not None:
+        if seeds != 1:
+            raise ValueError(
+                "obs= attaches per-run artifacts; run one seed at a time")
+        from dataclasses import replace
+        spec = replace(spec, obs=obs)
     if isinstance(seeds, int):
         if seeds < 1:
             raise ValueError("seeds must be >= 1")

@@ -120,6 +120,12 @@ class LiveClusterConfig:
     #: callback exceptions — a live run that "passed" while swallowing
     #: transition errors is a lie.
     fail_on_driver_errors: bool = True
+    #: Optional :class:`repro.obs.ObsConfig`: attaches the observability
+    #: layer — per-node causal wire tracing, mid-run wall-clock stats
+    #: polling over the control channel, and a ``repro.obs/1`` snapshot
+    #: on the aggregate result.  ``None`` (the default) keeps wire bytes
+    #: and the report schema identical to an untraced run.
+    obs: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -250,7 +256,22 @@ async def _node_main(config: LiveClusterConfig, index: int, barrier, *,
         else:
             driver.start(loop, now=time.time() - clock_zero)
 
-        node = MacedonNode(driver, network, stack)
+        # Observability (repro.obs): a per-node tracer honouring the run's
+        # category overrides, plus — when causal tracing is on — the wire
+        # TRACE envelope.  Installed before the node so agent trace gates
+        # see the overrides at construction.
+        obs_tracer = causal = None
+        if config.obs is not None:
+            from ..obs import LiveCausalLog
+            from ..runtime.tracing import Tracer
+            obs_tracer = Tracer(config.obs.max_records,
+                                category_levels=config.obs.category_levels,
+                                level=config.obs.trace_level)
+            if config.obs.causal:
+                causal = LiveCausalLog(address)
+                network.enable_causal(causal)
+
+        node = MacedonNode(driver, network, stack, tracer=obs_tracer)
         if incarnation:
             # Rebuild through the fail-stop recovery path so the transport
             # subsystem carries the real restart epoch, exactly as a
@@ -273,6 +294,32 @@ async def _node_main(config: LiveClusterConfig, index: int, barrier, *,
         #: never sent are not charged and post-fault probes are dateable.
         sent_records: list[tuple[int, float]] = []
         kv_app = ps_app = None
+
+        if config.obs is not None:
+            # Answer coordinator stats polls over the control channel while
+            # still dispatching every fault op through the default handler —
+            # the obs plane must not disable the fault plane.
+            def on_control(op: dict) -> None:
+                if op.get("op") != "obs-report":
+                    network.apply_fault_op(op)
+                    return
+                reply_to = op.get("reply_to")
+                if not reply_to:
+                    return
+                stats_op = {
+                    "op": "obs-stats",
+                    "address": address,
+                    "events_processed": driver.events_processed,
+                    "errors": driver.error_count,
+                    "sent": sent,
+                    "delivered": len(delivered_seqnos),
+                    "socket": network.stats(),
+                }
+                network.send_raw(
+                    SocketUdpNetwork.control_frame(stats_op, src=address),
+                    (reply_to[0], int(reply_to[1])))
+
+            network.set_control_callback(on_control)
 
         if config.workload in ("route", "multicast"):
             def on_deliver(payload, size, mtype) -> None:
@@ -462,6 +509,15 @@ async def _node_main(config: LiveClusterConfig, index: int, barrier, *,
             "transport": transport_totals,
             "socket": network.stats(),
         }
+        if config.obs is not None:
+            report["trace"] = {
+                "records": sum(node.tracer.counts.values()),
+                "dropped": node.tracer.dropped,
+            }
+            if causal is not None:
+                report["causal"] = {"traces": causal.traces,
+                                    "hops": causal.hop_count,
+                                    "records": causal.hops}
         if kv_extra is not None:
             report["kv"] = kv_extra
         if ps_extra is not None:
@@ -614,6 +670,19 @@ class LiveCluster:
         active_ops: dict = {}
         control_socket = socket_module.socket(socket_module.AF_INET,
                                               socket_module.SOCK_DGRAM)
+        #: Wall-clock obs samples: [{"t": offset, "nodes": [stats_op, ...]}]
+        #: collected by polling every node over the control channel mid-run.
+        wall_samples: list[dict] = []
+        if config.obs is not None:
+            # The control socket doubles as the reply channel for stats
+            # polls, so it needs a concrete bound address.
+            control_socket.bind((config.host, 0))
+            poll_step = max(1.0,
+                            (config.duration - config.workload_start) / 4.0)
+            poll_at = config.workload_start
+            while poll_at < config.duration:
+                push_action(poll_at, "obs-poll", None)
+                poll_at += poll_step
 
         def send_control(op: dict, addresses=None) -> None:
             frame = SocketUdpNetwork.control_frame(op)
@@ -668,6 +737,33 @@ class LiveCluster:
                     elif kind == "replay":
                         for op in list(active_ops.values()):
                             send_control(op, [_FIRST_ADDRESS + payload])
+                    elif kind == "obs-poll":
+                        reply_to = list(control_socket.getsockname())
+                        send_control({"op": "obs-report",
+                                      "reply_to": reply_to})
+                        replies: dict[int, dict] = {}
+                        control_socket.settimeout(0.25)
+                        try:
+                            while len(replies) < config.nodes:
+                                try:
+                                    data, _addr = control_socket.recvfrom(
+                                        65535)
+                                except socket_module.timeout:
+                                    break
+                                stats_op = \
+                                    SocketUdpNetwork.parse_control_frame(data)
+                                if (stats_op is None or
+                                        stats_op.get("op") != "obs-stats"):
+                                    continue
+                                # send_control fires twice; dedupe replies.
+                                replies[stats_op["address"]] = stats_op
+                        finally:
+                            control_socket.settimeout(None)
+                        wall_samples.append({
+                            "t": round(time.time() - t0, 3),
+                            "nodes": [replies[key]
+                                      for key in sorted(replies)],
+                        })
 
                 expected = [i for i in range(config.nodes)
                             if not state[i]["down"]]
@@ -755,7 +851,8 @@ class LiveCluster:
             "respawns": sum(s["restarts"] for s in state.values()),
             "down": sum(1 for s in state.values() if s["down"]),
         }
-        outcome = self._aggregate(per_node, supervisor=supervisor)
+        outcome = self._aggregate(per_node, supervisor=supervisor,
+                                  wall_samples=wall_samples)
 
         if config.fail_on_driver_errors:
             noisy = [(report["address"], report["callback_error_count"],
@@ -872,7 +969,8 @@ class LiveCluster:
 
     # ------------------------------------------------------------ aggregation
     def _aggregate(self, per_node: list[dict],
-                   supervisor: Optional[dict] = None) -> LiveClusterResult:
+                   supervisor: Optional[dict] = None,
+                   wall_samples: Optional[list] = None) -> LiveClusterResult:
         """Score exactly as the scenario engine's WorkloadObservations does:
         ``deliveries`` counts deduped (receiver, seqno) upcalls, and
         ``success_ratio`` is distinct probes delivered *anywhere* over
@@ -922,6 +1020,9 @@ class LiveCluster:
                 report["socket"]["decode_errors"] for report in per_node)),
             "socket.fault_drops": float(sum(
                 report["socket"].get("fault_drops", 0)
+                for report in per_node)),
+            "socket.reassembly_timeouts": float(sum(
+                report["socket"].get("reassembly_timeouts", 0)
                 for report in per_node)),
         }
         if supervisor is not None:
@@ -986,6 +1087,25 @@ class LiveCluster:
                           for ring, report in zip(rings, alive_reports)}
             metrics["ring.correct_successor_fraction"] = \
                 correct_successor_fraction(membership, successors)
+        obs_snapshot = None
+        if config.obs is not None:
+            from ..obs import (artifact, base_registry, fill_live,
+                               write_obs_snapshot, write_trace_file)
+            registry = base_registry()
+            hop_records = fill_live(
+                registry, per_node, nodes_total=config.nodes,
+                nodes_alive=len(alive_reports))
+            obs_snapshot = artifact(
+                registry, mode="live",
+                name=f"live-{config.protocol}-{config.workload}",
+                seed=config.seed, duration=config.duration)
+            obs_snapshot["wallclock"] = wall_samples or []
+            if config.obs.snapshot_path:
+                write_obs_snapshot(config.obs.snapshot_path, obs_snapshot)
+            if config.obs.trace_path:
+                write_trace_file(config.obs.trace_path, hop_records,
+                                 meta={"mode": "live",
+                                       "seed": config.seed})
         result = ScenarioResult(
             name=f"live-{config.protocol}-{config.workload}",
             seed=config.seed,
@@ -994,5 +1114,6 @@ class LiveCluster:
             series={},
             events=[],
             experiment=None,
+            obs=obs_snapshot,
         )
         return LiveClusterResult(result=result, per_node=per_node)

@@ -547,6 +547,42 @@ class NetworkEmulator:
         self._loss_rngs = {}
         self.send = self._send_sharded  # type: ignore[method-assign]
 
+    def install_delivery_wrapper(
+            self, wrap: Callable[[Callable[[Packet], None]],
+                                 Callable[[Packet], None]]) -> None:
+        """Swap the delivery callback for ``wrap(current)`` (observability).
+
+        Uses the same bound-method-cache swap as the sharded egress hook:
+        the send paths schedule ``self._deliver_callback`` read per call, so
+        replacing the attribute reroutes every future delivery — including
+        packets re-entering via :meth:`inject_delivery` — at zero cost to
+        the uninstrumented run.
+
+        Ordering matters in shard workers: this must run *before*
+        :meth:`install_cross_shard_egress`, whose egress closure captures
+        the delivery callback by identity to tell deliveries apart from
+        other fast events.  A wrapper installed after it would make
+        cross-shard packets miss the export check and deliver locally.
+        """
+        self._deliver_callback = wrap(self._deliver_callback)
+
+    def install_send_tap(self, tap: Callable[[Packet], None]) -> None:
+        """Run ``tap(packet)`` before every send (observability).
+
+        Wraps whatever :meth:`send` currently is by instance-attribute
+        shadowing — the mechanism :meth:`install_cross_shard_egress` uses —
+        so in a shard worker this must be installed *after* ``enter_shard``
+        swapped in the sharded send, or the swap would discard the tap.
+        """
+        inner = self.send
+
+        def send_with_tap(packet: Packet,
+                          payload_tag: Optional[str] = None) -> bool:
+            tap(packet)
+            return inner(packet, payload_tag)
+
+        self.send = send_with_tap  # type: ignore[method-assign]
+
     def _send_sharded(self, packet: Packet,
                       payload_tag: Optional[str] = None) -> bool:
         """:meth:`send` for shard workers: traffic-independent link physics.

@@ -25,12 +25,14 @@ class Packet:
     """A network-layer packet in flight between two hosts."""
 
     __slots__ = ("src", "dst", "payload", "size", "protocol", "created_at",
-                 "packet_id", "hops", "path", "wire_size")
+                 "packet_id", "hops", "path", "wire_size", "trace_id",
+                 "trace_hop")
 
     def __init__(self, src: int, dst: int, payload: Any, size: int,
                  protocol: str = "udp", created_at: float = 0.0,
                  packet_id: Optional[int] = None, hops: int = 0,
-                 path: Optional[tuple[int, ...]] = None) -> None:
+                 path: Optional[tuple[int, ...]] = None,
+                 trace_id: Optional[int] = None, trace_hop: int = 0) -> None:
         if size < 0:
             raise ValueError("packet payload size cannot be negative")
         self.src = src
@@ -45,6 +47,12 @@ class Packet:
         self.path = path
         #: Bytes the packet occupies on a link (payload plus headers).
         self.wire_size = size + HEADER_BYTES
+        #: Causal tracing (``repro.obs``): id of the request this packet
+        #: belongs to and its hop index along the route.  ``None`` unless a
+        #: causal tap tagged the packet; carried intact through the sharded
+        #: kernel's cross-shard pickle.
+        self.trace_id = trace_id
+        self.trace_hop = trace_hop
 
     def copy_for_retransmit(self) -> "Packet":
         """A fresh packet (new id, zero hops) carrying the same payload."""

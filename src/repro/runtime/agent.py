@@ -207,9 +207,28 @@ class Agent:
         #: Trace gates, precomputed so hot paths skip the tracer call (and
         #: its argument formatting) entirely when the record would be
         #: filtered anyway.  The thresholds mirror
-        #: :attr:`repro.runtime.tracing.Tracer.CATEGORY_LEVELS`.
-        self._trace_med = self.TRACE >= TraceLevel.MED
-        self._trace_high = self.TRACE >= TraceLevel.HIGH
+        #: :attr:`repro.runtime.tracing.Tracer.CATEGORY_LEVELS` — unless
+        #: this run's tracer carries per-run category overrides
+        #: (``repro.obs``), in which case the gate opens if *any* category
+        #: behind it is enabled at this agent's level; ``Tracer.record``
+        #: still filters exactly per category.
+        tracer = getattr(node, "tracer", None)
+        if tracer is not None and tracer.has_overrides:
+            floor = tracer.level_floor
+            if floor is not None and floor > self.TRACE:
+                # Per-run verbosity raise: an *instance* attribute, so the
+                # (cached) generated class keeps its spec-declared level.
+                self.TRACE = floor
+            trace, threshold = self.TRACE, tracer.threshold
+            self._trace_med = any(
+                trace >= threshold(category)
+                for category in ("transition", "message_send", "message_recv"))
+            self._trace_high = any(
+                trace >= threshold(category)
+                for category in ("timer", "neighbor", "debug"))
+        else:
+            self._trace_med = self.TRACE >= TraceLevel.MED
+            self._trace_high = self.TRACE >= TraceLevel.HIGH
         self._transport_names: tuple[str, ...] = tuple(
             name for _, name in self.TRANSPORT_DECLS)
 

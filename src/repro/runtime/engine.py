@@ -266,6 +266,16 @@ class Simulator:
         """Request that :meth:`run` return after the current event."""
         self._stopped = True
 
+    def stats(self) -> dict:
+        """Kernel counters for the observability snapshot (``repro.obs``).
+
+        The driver-agnostic probe surface: :class:`LiveDriver` exposes the
+        same ``events_processed`` reading, so both clocks report through
+        one key set.
+        """
+        return {"events_processed": self.events_processed,
+                "pending": self._live, "now": self._now}
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run the simulation.
 

@@ -68,11 +68,15 @@ class ShardedDriver(SimDriver):
     """
 
     def __init__(self, simulator: Simulator, *, shard_id: int,
-                 plan: ShardPlan, endpoint: Endpoint) -> None:
+                 plan: ShardPlan, endpoint: Endpoint,
+                 registry: Optional[Any] = None) -> None:
         super().__init__(simulator)
         self.shard_id = shard_id
         self.plan = plan
         self.endpoint = endpoint
+        #: Optional metrics registry (``repro.obs``): when present the
+        #: window loop accounts barriers and cross-shard batch sizes.
+        self._registry = registry
         #: Outbound cross-shard packets of the current window:
         #: (arrival_time, src_shard, dst_host, seq, packet).
         self._outbox: list[tuple[float, int, int, int, Any]] = []
@@ -110,8 +114,13 @@ class ShardedDriver(SimDriver):
         if run_windows is None:  # pragma: no cover - simulator always has it
             raise ShardWorkerError("simulator lacks windowed execution")
 
+        registry = self._registry
+
         def on_barrier(barrier: float, index: int) -> None:
             outbox = self._outbox
+            if registry is not None:
+                registry.counter("shard.windows").inc()
+                registry.histogram("shard.batch_size").observe(len(outbox))
             payload = mailbox.pack_packets(outbox)
             outbox.clear()
             self.endpoint.send(mailbox.FRAME_PACKETS, index, payload)

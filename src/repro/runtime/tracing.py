@@ -5,13 +5,30 @@ The ``trace_`` header of a mac file selects one of four levels (``off``,
 changes, transitions, message transmissions, and timer activity at increasing
 levels of detail; the evaluation framework and the debugging workflow both
 read the same records (the paper's built-in debugging/evaluation support).
+
+Two extension points serve the observability layer (:mod:`repro.obs`):
+
+* **per-run category overrides** — a tracer built with ``category_levels``
+  overrides replaces the class-level :attr:`Tracer.CATEGORY_LEVELS` policy
+  for this run only (the class constant is never mutated).  Agents consult
+  :meth:`Tracer.threshold` when :attr:`Tracer.has_overrides` is set, so the
+  default construction path stays byte-identical to the historical gates.
+* **streaming export** — an optional ``sink`` (see
+  :class:`repro.obs.trace.TraceSink`) receives every accepted record as it
+  is produced, so a bounded in-memory ring can spill a complete
+  ``repro.trace/1`` JSONL file to disk without holding the run in memory.
+
+The in-memory ring itself is a :class:`collections.deque` with ``maxlen``:
+eviction at the bound is O(1) per record (the historical ``list.pop(0)``
+was O(n), which made a saturated tracer quadratic over a long run).
 """
 
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable, Mapping, Optional, Union
 
 
 class TraceLevel(enum.IntEnum):
@@ -47,13 +64,17 @@ class Tracer:
 
     A single tracer is shared by every node in an experiment so records are
     globally time-ordered.  ``max_records`` bounds memory for long runs; when
-    the bound is hit the oldest records are discarded (counts are kept).
+    the bound is hit the oldest records are discarded (counts are kept, and
+    a ``sink`` — if attached — has already streamed them out).
     """
 
-    #: Minimum level at which each category is recorded.
+    #: Minimum level at which each category is recorded.  ``route_hop`` is
+    #: emitted by the causal tracer (:mod:`repro.obs.causal`) and records
+    #: whenever tracing is on at all.
     CATEGORY_LEVELS = {
         "state_change": TraceLevel.LOW,
         "error": TraceLevel.LOW,
+        "route_hop": TraceLevel.LOW,
         "transition": TraceLevel.MED,
         "message_send": TraceLevel.MED,
         "message_recv": TraceLevel.MED,
@@ -62,26 +83,78 @@ class Tracer:
         "debug": TraceLevel.HIGH,
     }
 
-    def __init__(self, max_records: int = 200_000) -> None:
-        self._records: list[TraceRecord] = []
+    def __init__(self, max_records: int = 200_000, *,
+                 category_levels: Optional[Mapping[str, Union[str, TraceLevel]]]
+                 = None,
+                 level: Optional[Union[str, TraceLevel]] = None,
+                 sink: Optional[Any] = None) -> None:
+        self._records: deque[TraceRecord] = deque(maxlen=max_records)
         self._max_records = max_records
         self.counts: dict[str, int] = {}
         self.dropped = 0
+        #: Optional streaming sink with a ``write(record)`` method; every
+        #: accepted record is forwarded before ring eviction can touch it.
+        self.sink = sink
+        #: Per-run verbosity floor: agents whose spec-declared ``TRACE`` is
+        #: below this record at this level instead (instance-scoped raise,
+        #: see :class:`repro.runtime.agent.Agent`).  ``None`` leaves every
+        #: agent at its declared level.
+        self.level_floor: Optional[TraceLevel] = (
+            None if level is None
+            else level if isinstance(level, TraceLevel)
+            else TraceLevel.parse(str(level)))
+        if category_levels:
+            levels = dict(self.CATEGORY_LEVELS)
+            for category, override in category_levels.items():
+                if category not in levels:
+                    raise ValueError(
+                        f"unknown trace category {category!r} "
+                        f"(categories: {sorted(levels)})")
+                parsed = (override if isinstance(override, TraceLevel)
+                          else TraceLevel.parse(str(override)))
+                # An "off" override disables the category outright: its
+                # threshold moves above every possible record level.
+                levels[category] = (TraceLevel.HIGH + 1
+                                    if parsed == TraceLevel.OFF else parsed)
+            self.category_levels: Mapping[str, TraceLevel] = levels
+        else:
+            # The shared class dict, read-only by convention: the default
+            # path must not pay a per-tracer policy copy.
+            self.category_levels = self.CATEGORY_LEVELS
+        self._has_overrides = bool(category_levels) \
+            or self.level_floor is not None
+
+    @property
+    def has_overrides(self) -> bool:
+        """Whether this tracer's category policy differs from the default.
+
+        Agents precompute their trace gates from :attr:`CATEGORY_LEVELS`;
+        when this is set they derive the gates from :meth:`threshold`
+        instead (see :class:`repro.runtime.agent.Agent`)."""
+        return self._has_overrides
+
+    def threshold(self, category: str) -> TraceLevel:
+        """Minimum level at which *category* is recorded by this tracer."""
+        return self.category_levels.get(category, TraceLevel.HIGH)
 
     def record(self, level: TraceLevel, time: float, node: int, protocol: str,
                category: str, detail: str, **data: Any) -> None:
         """Record an event if *level* enables its category."""
-        threshold = self.CATEGORY_LEVELS.get(category, TraceLevel.HIGH)
+        threshold = self.category_levels.get(category, TraceLevel.HIGH)
         if level < threshold:
             return
         self.counts[category] = self.counts.get(category, 0) + 1
-        if len(self._records) >= self._max_records:
-            self._records.pop(0)
+        records = self._records
+        if len(records) == self._max_records:
+            # The deque's maxlen evicts the oldest entry on append; book it.
             self.dropped += 1
-        self._records.append(
-            TraceRecord(time=time, node=node, protocol=protocol,
-                        category=category, detail=detail, data=dict(data))
-        )
+        record = TraceRecord(time=time, node=node, protocol=protocol,
+                             category=category, detail=detail,
+                             data=dict(data))
+        records.append(record)
+        sink = self.sink
+        if sink is not None:
+            sink.write(record)
 
     def records(self, category: Optional[str] = None,
                 protocol: Optional[str] = None,

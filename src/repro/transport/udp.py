@@ -220,6 +220,12 @@ class SocketUdpNetwork(asyncio.DatagramProtocol):
     #: magic, frame kind, src address, fragment id, index, count — each
     #: fragment datagram carries one slice of an oversized frame.
     _FRAGMENT = struct.Struct("!BBIIHH")
+    #: Causal tracing piggyback (``repro.obs``): trace id, hop count, and
+    #: wall-clock send time, wrapped *around* a complete ordinary frame.
+    #: Only emitted when a causal log is attached — with tracing off every
+    #: sub-cap frame stays byte-identical to the untraced build.
+    _FRAME_TRACE = 6
+    _TRACE = struct.Struct("!QHd")
 
     def __init__(self, local_address: int,
                  endpoints: Mapping[int, tuple[str, int]],
@@ -252,6 +258,10 @@ class SocketUdpNetwork(asyncio.DatagramProtocol):
         self.fragments_received = 0
         self.reassembly_timeouts = 0
         self.control_frames = 0
+        self.traced_frames = 0
+        #: Optional :class:`repro.obs.LiveCausalLog`; one attribute read on
+        #: the send path is the entire disabled-mode cost.
+        self._causal = None
 
     # ------------------------------------------------------------- lifecycle
     async def open(self) -> None:
@@ -347,6 +357,19 @@ class SocketUdpNetwork(asyncio.DatagramProtocol):
             frame = (self._HEADER.pack(self.MAGIC, self._FRAME_RAW,
                                        self.local_address)
                      + codec.encode_payload(payload))
+        causal = self._causal
+        if causal is not None:
+            ctx = causal.ctx
+            if ctx is not None:
+                trace_id, hop = ctx[0], ctx[1] + 1
+            else:
+                trace_id, hop = causal.new_trace(), 0
+            if hop <= 0xFFFF:
+                frame = (self._HEADER.pack(self.MAGIC, self._FRAME_TRACE,
+                                           self.local_address)
+                         + self._TRACE.pack(trace_id, hop, time.time())
+                         + frame)
+                self.traced_frames += 1
         if len(frame) > FRAGMENT_THRESHOLD:
             return self._send_fragmented(frame, endpoint)
         try:
@@ -438,6 +461,28 @@ class SocketUdpNetwork(asyncio.DatagramProtocol):
                 if data is None:
                     return
                 magic, frame_kind, src = self._HEADER.unpack_from(data, 0)
+            if frame_kind == self._FRAME_TRACE:
+                # Unwrap the causal piggyback and process the inner frame.
+                # A receiver without a causal log still interoperates: it
+                # strips the envelope and moves on.
+                trace_id, hop, sent_at = self._TRACE.unpack_from(
+                    data, self._HEADER.size)
+                inner = data[self._HEADER.size + self._TRACE.size:]
+                causal = self._causal
+                if causal is None:
+                    self._frame_received(inner, addr)
+                    return
+                causal.on_hop(trace_id, hop, src, sent_at,
+                              self.local_address)
+                previous = causal.ctx
+                causal.ctx = (trace_id, hop)
+                try:
+                    # Delivery is synchronous, so sends the handler makes
+                    # while this context is set inherit the trace.
+                    self._frame_received(inner, addr)
+                finally:
+                    causal.ctx = previous
+                return
             offset = self._HEADER.size
             if frame_kind == self._FRAME_RAW:
                 payload, _ = self.codec.decode_payload(data, offset)
@@ -636,6 +681,43 @@ class SocketUdpNetwork(asyncio.DatagramProtocol):
         else:
             raise WireError(f"unknown fault op {kind!r}")
 
+    @classmethod
+    def parse_control_frame(cls, data: bytes) -> Optional[dict]:
+        """Decode a control datagram back to its op dict, or ``None``.
+
+        The coordinator's side of the channel: node replies (e.g. the
+        ``obs-stats`` report) arrive on its plain blocking socket, outside
+        any :class:`SocketUdpNetwork` instance.
+        """
+        try:
+            magic, frame_kind, _src = cls._HEADER.unpack_from(data, 0)
+            if magic != cls.MAGIC or frame_kind != cls._FRAME_CONTROL:
+                return None
+            op = json.loads(data[cls._HEADER.size:].decode("utf-8"))
+        except (struct.error, ValueError, UnicodeDecodeError):
+            return None
+        return op if isinstance(op, dict) else None
+
+    def send_raw(self, frame: bytes, endpoint: tuple[str, int]) -> None:
+        """Transmit a pre-framed datagram (control replies)."""
+        if self._transport is None:
+            return
+        try:
+            self._transport.sendto(frame, endpoint)
+        except OSError as exc:   # pragma: no cover - kernel buffer, etc.
+            logger.warning("control reply to %s failed: %s", endpoint, exc)
+
+    # --------------------------------------------------------- observability
+    def enable_causal(self, causal) -> None:
+        """Attach a :class:`repro.obs.LiveCausalLog`.
+
+        From now on every outbound data frame is wrapped in a ``TRACE``
+        envelope carrying (trace id, hop, send time), and inbound
+        envelopes are unwrapped with the hop recorded.  Never enabled by
+        default: wire bytes with tracing off are pinned byte-identical.
+        """
+        self._causal = causal
+
     def stats(self) -> dict[str, int]:
         return {
             "frames_sent": self.frames_sent,
@@ -649,6 +731,7 @@ class SocketUdpNetwork(asyncio.DatagramProtocol):
             "fragments_received": self.fragments_received,
             "reassembly_timeouts": self.reassembly_timeouts,
             "control_frames": self.control_frames,
+            "traced_frames": self.traced_frames,
         }
 
     def __repr__(self) -> str:   # pragma: no cover - debugging aid

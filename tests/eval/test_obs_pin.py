@@ -1,0 +1,178 @@
+"""Determinism pins for the observability layer's *disabled* path.
+
+The contract (ISSUE: observability): a run with ``obs=None`` executes the
+exact historical code paths — same RNG draws, same event ordering, same
+metrics — and a run with obs *enabled* observes without perturbing.  Both
+halves are pinned here against baselines captured at the commit that
+introduced ``repro.obs`` (i.e. from HEAD~ of that change):
+
+* a low-level engine/emulator fingerprint (fixed seed, 64 hosts, 2 000
+  packets) byte-compares delivery, latency-sum and link-stress numbers;
+* a full churn scenario (joins, crashes, a route workload, the failure
+  detector) byte-compares every scenario metric for two seeds;
+* the same churn scenario with full observability enabled must produce
+  the identical metrics dict — tracing is read-only.
+
+Floats are compared via ``repr`` so drift of even one ULP fails.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.library import resolve_protocol
+from repro.eval.scenario import ChurnModel, ScenarioSpec, WorkloadModel
+from repro.obs import ObsConfig
+from repro.network.emulator import NetworkEmulator
+from repro.network.packet import Packet
+from repro.network.topology import transit_stub_topology
+from repro.runtime.engine import Simulator
+from repro.runtime.failure import FailureDetectorConfig
+
+# Captured on the commit preceding the observability layer (obs=None must
+# keep reproducing these bytes forever).
+FINGERPRINT_BASELINE = {
+    "packets_sent": 2000,
+    "packets_delivered": 1984,
+    "packets_dropped": 16,
+    "bytes_delivered": 1498160,
+    "events_processed": 3984,
+    "final_time": "10.084881915227912",
+    "latency_count": 1984,
+    "latency_sum": "155.36922941464437",
+    "max_link_stress": 62,
+}
+
+CHURN_BASELINES = {
+    1: {
+        "churn.churn_cycles": "1.0",
+        "churn.joins": "10.0",
+        "net.bytes_delivered": "467864.0",
+        "net.packets_delivered": "21166.0",
+        "net.packets_dropped": "28.0",
+        "net.packets_sent": "21199.0",
+        "nodes.alive": "10.0",
+        "nodes.crashes": "1.0",
+        "nodes.recoveries": "1.0",
+        "sim.events_processed": "25865.0",
+        "workload.deliveries": "57.0",
+        "workload.duplicates": "0.0",
+        "workload.latency_mean": "0.35329278469506986",
+        "workload.latency_p95": "0.18418123074656023",
+        "workload.sent": "59.0",
+        "workload.skipped": "1.0",
+        "workload.success_ratio": "0.9661016949152542",
+    },
+    2: {
+        "churn.churn_cycles": "1.0",
+        "churn.joins": "10.0",
+        "net.bytes_delivered": "463168.0",
+        "net.packets_delivered": "21048.0",
+        "net.packets_dropped": "29.0",
+        "net.packets_sent": "21082.0",
+        "nodes.alive": "10.0",
+        "nodes.crashes": "1.0",
+        "nodes.recoveries": "1.0",
+        "sim.events_processed": "25746.0",
+        "workload.deliveries": "56.0",
+        "workload.duplicates": "0.0",
+        "workload.latency_mean": "0.2096161860059603",
+        "workload.latency_p95": "0.15263670109663252",
+        "workload.sent": "59.0",
+        "workload.skipped": "1.0",
+        "workload.success_ratio": "0.9491525423728814",
+    },
+}
+
+
+def engine_fingerprint(seed: int = 7, num_hosts: int = 64,
+                       num_packets: int = 2_000) -> dict:
+    """Mirror of ``scripts/run_benchmarks.py::metrics_fingerprint``."""
+    simulator = Simulator(seed=seed)
+    topology = transit_stub_topology(num_hosts, seed=seed)
+    emulator = NetworkEmulator(simulator, topology, random_loss_rate=0.01)
+    addresses = [emulator.attach_host().address for _ in range(num_hosts)]
+
+    latencies: list[float] = []
+
+    def on_receive(packet: Packet) -> None:
+        latencies.append(simulator.now - packet.created_at)
+
+    for address in addresses:
+        emulator.set_receive_callback(address, on_receive)
+
+    rng = simulator.fork_rng("bench-traffic")
+
+    def send_one(src: int, dst: int, size: int) -> None:
+        emulator.send(Packet(src=src, dst=dst, payload=None, size=size),
+                      payload_tag=f"probe-{size % 7}")
+
+    for index in range(num_packets):
+        src = rng.randrange(num_hosts)
+        dst = rng.randrange(num_hosts)
+        if dst == src:
+            dst = (dst + 1) % num_hosts
+        size = rng.randint(100, 1400)
+        simulator.schedule(index * 0.005, send_one,
+                           addresses[src], addresses[dst], size)
+    simulator.run()
+
+    stress = max((view.max_stress for view in emulator.link_stats().values()),
+                 default=0)
+    return {
+        "packets_sent": emulator.stats.packets_sent,
+        "packets_delivered": emulator.stats.packets_delivered,
+        "packets_dropped": emulator.stats.packets_dropped,
+        "bytes_delivered": emulator.stats.bytes_delivered,
+        "events_processed": simulator.events_processed,
+        "final_time": repr(simulator.now),
+        "latency_count": len(latencies),
+        "latency_sum": repr(sum(latencies)),
+        "max_link_stress": stress,
+    }
+
+
+def churn_spec(seed: int, obs: ObsConfig | None = None) -> ScenarioSpec:
+    duration = 120.0
+    return ScenarioSpec(
+        name="obs-pin-churn",
+        agents=resolve_protocol("chord"),
+        num_nodes=10,
+        duration=duration,
+        seed=seed,
+        failure_config=FailureDetectorConfig(failure_timeout=10.0,
+                                             heartbeat_timeout=4.0,
+                                             check_interval=1.0),
+        models=(ChurnModel(join="staggered", join_spacing=0.5,
+                           churn_fraction=0.10,
+                           churn_start=duration * 0.25,
+                           churn_end=duration * 0.85,
+                           downtime=15.0),
+                WorkloadModel(kind="route", source=-1,
+                              start=duration * 0.15,
+                              packets=int(duration // 2), gap=1.5)),
+        obs=obs)
+
+
+def byte_metrics(result) -> dict[str, str]:
+    return {key: repr(value) for key, value in sorted(result.metrics.items())}
+
+
+def test_engine_fingerprint_is_byte_identical_to_pre_obs_baseline():
+    assert engine_fingerprint() == FINGERPRINT_BASELINE
+
+
+@pytest.mark.parametrize("seed", sorted(CHURN_BASELINES))
+def test_churn_metrics_are_byte_identical_to_pre_obs_baseline(seed):
+    assert byte_metrics(churn_spec(seed).run()) == CHURN_BASELINES[seed]
+
+
+def test_enabling_observability_does_not_perturb_metrics(tmp_path):
+    obs = ObsConfig(trace_path=str(tmp_path / "trace.jsonl"),
+                    trace_level="med", causal=True,
+                    snapshot_path=str(tmp_path / "obs.json"))
+    observed = churn_spec(1, obs=obs).run()
+    assert byte_metrics(observed) == CHURN_BASELINES[1]
+    # And it really did observe: the snapshot carries trace/causal activity.
+    assert observed.obs["counters"]["trace.records"] > 0
+    assert observed.obs["counters"]["causal.traces"] > 0
